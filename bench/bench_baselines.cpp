@@ -1,0 +1,122 @@
+// T4 — Baseline comparison: the paper's Table-1-shaped story.
+//
+//   sync-lockstep (Vaidya-Garg [32]) : (D+1) t < n, synchrony only;
+//   async-mh (Mendes-Herlihy [26])   : (D+2) t < n, both regimes;
+//   hybrid (this paper)              : ts under synchrony AND ta under
+//                                      asynchrony when (D+1) ts + ta < n.
+//
+// Three scenes:
+//   A. sync network, t = 2, n = 7, D = 2: (D+1)t = 6 < 7 but (D+2)t = 8 > 7
+//      -> lockstep and hybrid(ts=2, ta=0) succeed; async-mh cannot even be
+//      instantiated at this threshold.
+//   B. async network, same n: lockstep silently breaks; hybrid(ts=2, ta=0)
+//      has no async guarantee at ta=0 < actual corruptions... so we show
+//      hybrid at (ts=2, ta=1) vs 1 corruption: guarantees hold.
+//   C. head-to-head grid over both networks at matched thresholds.
+#include <cstdio>
+#include <vector>
+
+#include "baselines/async_mh.hpp"
+#include "harness/runner.hpp"
+#include "harness/table.hpp"
+
+using namespace hydra;
+using namespace hydra::harness;
+
+namespace {
+
+void scene(const char* title, const std::vector<RunSpec>& specs,
+           const std::vector<std::string>& notes) {
+  std::printf("%s\n", title);
+  Table table({"protocol", "n", "ts", "ta", "network", "adversary", "corrupt",
+               "live", "valid", "agree", "out-diam", "note"});
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& spec = specs[i];
+    const auto result = execute(spec);
+    table.row({to_string(spec.protocol), fmt(std::uint64_t{spec.params.n}),
+               fmt(std::uint64_t{spec.params.ts}), fmt(std::uint64_t{spec.params.ta}),
+               to_string(spec.network), to_string(spec.adversary),
+               fmt(std::uint64_t{spec.corruptions}), fmt_ok(result.verdict.live),
+               fmt_ok(result.verdict.valid), fmt_ok(result.verdict.agreed),
+               fmt(result.verdict.output_diameter), notes[i]});
+  }
+  table.print();
+  std::printf("\n");
+}
+
+RunSpec base_spec(Protocol protocol, std::size_t n, std::size_t ts, std::size_t ta,
+                  Network network, Adversary adversary, std::size_t corruptions,
+                  std::uint64_t seed) {
+  RunSpec spec;
+  spec.protocol = protocol;
+  spec.params.n = n;
+  spec.params.ts = ts;
+  spec.params.ta = ta;
+  spec.params.dim = 2;
+  spec.params.eps = 5e-2;
+  spec.params.delta = 1000;
+  spec.workload = Workload::kUniformBall;
+  spec.workload_scale = 10.0;
+  spec.network = network;
+  spec.adversary = adversary;
+  spec.corruptions = corruptions;
+  spec.seed = seed;
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== T4: hybrid protocol vs the two classical baselines (D = 2) ==\n\n");
+
+  std::printf("Scene A: synchronous network, t = 2 of n = 7 corrupted.\n");
+  std::printf("  async-mh needs (D+2) t < n = 8 < 7: INFEASIBLE — cannot be "
+              "instantiated (printed as the paper's '-' cell).\n");
+  scene("",
+        {
+            base_spec(Protocol::kSyncLockstep, 7, 2, 0, Network::kSyncJitter,
+                      Adversary::kSilent, 2, 1),
+            base_spec(Protocol::kHybrid, 7, 2, 0, Network::kSyncJitter,
+                      Adversary::kSilent, 2, 2),
+            base_spec(Protocol::kHybrid, 7, 2, 0, Network::kSyncJitter,
+                      Adversary::kMixed, 2, 3),
+        },
+        {"baseline OK at (D+1)t<n", "hybrid matches it", "hybrid, hostile mix"});
+  std::printf("  async-mh at (n=7, t=2, D=2): feasible = %s (needs n > 8)\n\n",
+              baselines::async_mh_feasible({.n = 7, .t = 2, .dim = 2}) ? "yes" : "NO");
+
+  std::printf("Scene B: asynchronous network, n = 8 (so (D+1) ts + ta = 7 < 8 "
+              "keeps the hybrid protocol feasible at ts = 2, ta = 1).\n");
+  scene("",
+        {
+            base_spec(Protocol::kSyncLockstep, 8, 2, 0, Network::kAsyncExponential,
+                      Adversary::kOutlier, 1, 4),
+            base_spec(Protocol::kHybrid, 8, 2, 1, Network::kAsyncExponential,
+                      Adversary::kOutlier, 1, 5),
+            base_spec(Protocol::kHybrid, 8, 2, 1, Network::kAsyncReorder,
+                      Adversary::kMixed, 1, 6),
+        },
+        {"sync baseline BREAKS", "hybrid ta=1 holds", "hybrid, hostile mix"});
+
+  std::printf("Scene C: matched-threshold grid (t = ts = ta = 1, n = 5).\n");
+  std::printf("  At ts = ta the hybrid protocol IS the asynchronous-optimal "
+              "protocol ((D+2)t < n); both succeed everywhere.\n");
+  scene("",
+        {
+            base_spec(Protocol::kAsyncMh, 5, 1, 1, Network::kSyncJitter,
+                      Adversary::kSilent, 1, 7),
+            base_spec(Protocol::kHybrid, 5, 1, 1, Network::kSyncJitter,
+                      Adversary::kSilent, 1, 8),
+            base_spec(Protocol::kAsyncMh, 5, 1, 1, Network::kAsyncReorder,
+                      Adversary::kSilent, 1, 9),
+            base_spec(Protocol::kHybrid, 5, 1, 1, Network::kAsyncReorder,
+                      Adversary::kSilent, 1, 10),
+        },
+        {"", "", "", ""});
+
+  std::printf("Paper prediction: hybrid dominates — it keeps the synchronous "
+              "resilience of [32] (Scene A), survives asynchrony like [26] "
+              "(Scene B/C), and the sync-only baseline breaks under "
+              "asynchrony (Scene B row 1).\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// T9 — Why multidimensional AA at all? The coordinate-wise strawman.
+//
+// Running D independent 1-D AA instances (one per coordinate) inherits
+// liveness and per-coordinate agreement, but only confines outputs to the
+// BOUNDING BOX of the honest inputs — not their convex hull. A Byzantine
+// party holding a box corner outside the hull (here (1,1) against honest
+// inputs near the triangle {(0,0),(1,0),(0,1)}) steers different
+// coordinates toward different honest extremes, and asynchronous
+// scheduling does the rest. This is the classical argument of [26, 32] for
+// why D-AA needs genuinely multidimensional safe areas; here it is measured.
+#include <cstdio>
+#include <memory>
+
+#include "adversary/schedulers.hpp"
+#include "baselines/coordinatewise.hpp"
+#include "geometry/convex.hpp"
+#include "harness/runner.hpp"
+#include "harness/table.hpp"
+#include "sim/simulation.hpp"
+
+using namespace hydra;
+using namespace hydra::harness;
+
+namespace {
+
+struct Tally {
+  int outputs = 0;
+  int validity_violations = 0;
+  int liveness_failures = 0;
+};
+
+Tally run_coordinatewise(bool synchronous, std::uint64_t seeds) {
+  Tally tally;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    protocols::Params p;
+    p.n = 5;
+    p.ts = 1;
+    p.ta = 1;
+    p.dim = 2;
+    p.eps = 1e-3;
+    p.delta = 1000;
+    // Byzantine slot 0 runs the honest code with the box corner (1,1) —
+    // inside both coordinate ranges, far outside the honest hull.
+    const std::vector<geo::Vec> inputs{
+        {1.0, 1.0}, {0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}, {0.2, 0.2}};
+
+    std::unique_ptr<sim::DelayModel> model;
+    if (synchronous) {
+      model = std::make_unique<sim::UniformDelay>(1, p.delta);
+    } else {
+      model = std::make_unique<adversary::ReorderScheduler>(p.delta, 0.35,
+                                                            10 * p.delta);
+    }
+    sim::Simulation sim({.n = p.n, .delta = p.delta, .seed = seed},
+                        std::move(model));
+    std::vector<baselines::CoordinatewiseParty*> honest;
+    for (PartyId id = 0; id < p.n; ++id) {
+      auto party = std::make_unique<baselines::CoordinatewiseParty>(p, inputs[id]);
+      if (id != 0) honest.push_back(party.get());
+      sim.add_party(std::move(party));
+    }
+    sim.run();
+
+    const std::vector<geo::Vec> honest_inputs(inputs.begin() + 1, inputs.end());
+    for (auto* h : honest) {
+      if (!h->has_output()) {
+        ++tally.liveness_failures;
+        continue;
+      }
+      ++tally.outputs;
+      if (!geo::in_convex_hull(honest_inputs, h->output(), 1e-6)) {
+        ++tally.validity_violations;
+      }
+    }
+  }
+  return tally;
+}
+
+Tally run_hybrid(bool synchronous, std::uint64_t seeds) {
+  Tally tally;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    RunSpec spec;
+    spec.params.n = 5;
+    spec.params.ts = 1;
+    spec.params.ta = 1;
+    spec.params.dim = 2;
+    spec.params.eps = 1e-3;
+    spec.params.delta = 1000;
+    spec.workload = Workload::kSimplexCorners;  // the same adversarial shape
+    spec.workload_scale = 1.0;
+    spec.network = synchronous ? Network::kSyncJitter : Network::kAsyncReorder;
+    spec.adversary = Adversary::kOutlier;
+    spec.corruptions = 1;
+    spec.seed = seed;
+    const auto result = execute(spec);
+    tally.outputs += static_cast<int>(spec.params.n - 1);
+    if (!result.verdict.live) ++tally.liveness_failures;
+    if (!result.verdict.valid) ++tally.validity_violations;
+  }
+  return tally;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kSeeds = 20;
+  std::printf("== T9: coordinate-wise decomposition vs genuine D-AA ==\n");
+  std::printf("honest inputs ~ triangle {(0,0),(1,0),(0,1)}; Byzantine input "
+              "(1,1) — a bounding-box corner outside the hull.\n\n");
+
+  Table table({"protocol", "network", "honest outputs", "validity violations",
+               "liveness failures"});
+  for (const bool synchronous : {true, false}) {
+    const auto cw = run_coordinatewise(synchronous, kSeeds);
+    table.row({"coordinate-wise 1-D x D", synchronous ? "sync" : "async",
+               fmt(std::uint64_t(cw.outputs)), fmt(std::uint64_t(cw.validity_violations)),
+               fmt(std::uint64_t(cw.liveness_failures))});
+    const auto hy = run_hybrid(synchronous, kSeeds);
+    table.row({"hybrid D-AA (this paper)", synchronous ? "sync" : "async",
+               fmt(std::uint64_t(hy.outputs)), fmt(std::uint64_t(hy.validity_violations)),
+               fmt(std::uint64_t(hy.liveness_failures))});
+  }
+  table.print();
+
+  std::printf("\nPaper context ([26, 32]): per-coordinate agreement only "
+              "bounds outputs to the honest BOX; safe areas bound them to "
+              "the honest HULL. Expected: the strawman violates validity "
+              "under asynchrony (and can under synchrony), the hybrid "
+              "protocol never does.\n");
+  return 0;
+}

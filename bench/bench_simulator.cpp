@@ -1,0 +1,102 @@
+// T10 — Substrate microbenchmarks: raw simulator and protocol-stack costs.
+//
+// Not a paper experiment but the capacity envelope of the testbed itself:
+// how many simulated events per second the discrete-event core sustains,
+// what one reliable broadcast / one ΠoBC round / one full ΠAA run cost, and
+// how that scales with n. Useful when sizing larger sweeps.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "harness/runner.hpp"
+#include "sim/delay.hpp"
+#include "sim/env.hpp"
+#include "sim/simulation.hpp"
+
+using namespace hydra;
+
+namespace {
+
+/// Minimal ping party: floods k self-perpetuating messages, used to measure
+/// the raw event-loop overhead without protocol logic.
+class PingParty : public sim::IParty {
+ public:
+  explicit PingParty(int hops) : hops_(hops) {}
+
+  void start(sim::Env& env) override {
+    env.send((env.self() + 1) % static_cast<PartyId>(env.n()),
+             sim::Message{InstanceKey{1, 0, 0}, 0, {}});
+  }
+
+  void on_message(sim::Env& env, PartyId, const sim::Message& msg) override {
+    if (static_cast<int>(msg.key.b) >= hops_) return;
+    auto next = msg;
+    next.key.b += 1;
+    env.send((env.self() + 1) % static_cast<PartyId>(env.n()), next);
+  }
+
+  void on_timer(sim::Env&, std::uint64_t) override {}
+
+ private:
+  int hops_;
+};
+
+void BM_EventLoopThroughput(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::Simulation sim({.n = n, .delta = 10, .seed = 1},
+                        std::make_unique<sim::FixedDelay>(10));
+    for (std::size_t i = 0; i < n; ++i) {
+      sim.add_party(std::make_unique<PingParty>(200));
+    }
+    const auto stats = sim.run();
+    events += stats.events;
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventLoopThroughput)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_FullAaRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto dim = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    harness::RunSpec spec;
+    spec.params.n = n;
+    spec.params.ts = 1;
+    spec.params.ta = (dim + 1) * 1 + 1 < n ? 1 : 0;
+    spec.params.dim = dim;
+    spec.params.eps = 1e-2;
+    spec.params.delta = 1000;
+    spec.network = harness::Network::kSyncJitter;
+    spec.adversary = harness::Adversary::kSilent;
+    spec.corruptions = 1;
+    spec.seed = 7;
+    benchmark::DoNotOptimize(harness::execute(spec));
+  }
+}
+BENCHMARK(BM_FullAaRun)->Args({4, 2})->Args({8, 2})->Args({6, 3});
+
+void BM_FullAaRunAsync(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    harness::RunSpec spec;
+    spec.params.n = n;
+    spec.params.ts = 1;
+    spec.params.ta = 1;
+    spec.params.dim = 2;
+    spec.params.eps = 1e-2;
+    spec.params.delta = 1000;
+    spec.network = harness::Network::kAsyncReorder;
+    spec.adversary = harness::Adversary::kSilent;
+    spec.corruptions = 1;
+    spec.seed = 7;
+    benchmark::DoNotOptimize(harness::execute(spec));
+  }
+}
+BENCHMARK(BM_FullAaRunAsync)->Arg(5)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

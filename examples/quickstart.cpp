@@ -1,0 +1,66 @@
+// Quickstart: 4 parties agree on a 2-D value despite 1 Byzantine party.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// The essentials:
+//   1. pick Params (n, ts, ta, D, eps) satisfying (D+1) ts + ta < n;
+//   2. create a Simulation (or a transport::ThreadNetwork) with a delay
+//      model — here: synchronous with jitter up to Delta;
+//   3. add protocols::AaParty instances (and any attackers);
+//   4. run, then read each party's output().
+#include <cstdio>
+#include <memory>
+
+#include "adversary/behaviors.hpp"
+#include "geometry/vec.hpp"
+#include "protocols/aa.hpp"
+#include "sim/delay.hpp"
+#include "sim/simulation.hpp"
+
+using namespace hydra;
+
+int main() {
+  protocols::Params params;
+  params.n = 4;
+  params.ts = 1;   // tolerate 1 corruption if the network is synchronous
+  params.ta = 0;   // (and 0 if it is not: (D+1)*1 + 0 = 3 < 4)
+  params.dim = 2;
+  params.eps = 1e-3;
+  params.delta = 1000;  // Delta in simulator ticks
+
+  const std::vector<geo::Vec> inputs{
+      {0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}, {10.0, 10.0}};
+
+  sim::Simulation sim({.n = params.n, .delta = params.delta, .seed = 42},
+                      std::make_unique<sim::UniformDelay>(1, params.delta));
+
+  std::vector<protocols::AaParty*> parties;
+  for (PartyId id = 0; id < 3; ++id) {
+    auto party = std::make_unique<protocols::AaParty>(params, inputs[id]);
+    parties.push_back(party.get());
+    sim.add_party(std::move(party));
+  }
+  // Party 3 is Byzantine and stays silent.
+  sim.add_party(std::make_unique<adversary::SilentParty>());
+
+  const auto stats = sim.run();
+
+  std::printf("simulated %llu messages over %lld ticks\n",
+              static_cast<unsigned long long>(stats.messages),
+              static_cast<long long>(stats.end_time));
+  for (std::size_t i = 0; i < parties.size(); ++i) {
+    const auto* p = parties[i];
+    std::printf("party %zu: input %s -> output %s (T estimate %llu)\n", i,
+                geo::to_string(inputs[i]).c_str(),
+                p->has_output() ? geo::to_string(p->output()).c_str() : "(none)",
+                static_cast<unsigned long long>(p->estimate()));
+  }
+
+  std::vector<geo::Vec> outputs;
+  for (auto* p : parties) outputs.push_back(p->output());
+  std::printf("output diameter: %.3g (eps = %.3g)\n", geo::diameter(outputs),
+              params.eps);
+  return 0;
+}

@@ -1,0 +1,153 @@
+#include "adversary/behaviors.hpp"
+
+#include <utility>
+
+#include "protocols/codec.hpp"
+#include "protocols/keys.hpp"
+
+namespace hydra::adversary {
+
+using protocols::encode_party_set;
+using protocols::encode_value;
+using protocols::kDirect;
+using protocols::kInitWitnessSet;
+using protocols::kObcReport;
+using protocols::kRbcHalt;
+using protocols::kRbcInitReport;
+using protocols::kRbcInitValue;
+using protocols::kRbcObcValue;
+using protocols::kRbcSend;
+
+// ----------------------------------------------------------- CrashParty
+
+bool CrashParty::crashed(const sim::Env& env) const noexcept {
+  return env.now() >= crash_at_;
+}
+
+void CrashParty::start(sim::Env& env) {
+  if (!crashed(env)) inner_->start(env);
+}
+
+void CrashParty::on_message(sim::Env& env, PartyId from, const sim::Message& msg) {
+  if (!crashed(env)) inner_->on_message(env, from, msg);
+}
+
+void CrashParty::on_timer(sim::Env& env, std::uint64_t timer_id) {
+  if (!crashed(env)) inner_->on_timer(env, timer_id);
+}
+
+// ------------------------------------------------------ EquivocatorParty
+
+void EquivocatorParty::equivocate(sim::Env& env, const InstanceKey& key) {
+  for (PartyId r = 0; r < env.n(); ++r) {
+    geo::Vec v = base_;
+    for (std::size_t d = 0; d < v.dim(); ++d) v[d] += spread_ * static_cast<double>(r);
+    env.send(r, sim::Message{key, kRbcSend, encode_value(v)});
+  }
+}
+
+void EquivocatorParty::start(sim::Env& env) {
+  equivocate(env, InstanceKey{kRbcInitValue, env.self(), 0});
+  for (std::uint32_t it = 1; it <= iterations_; ++it) {
+    equivocate(env, InstanceKey{kRbcObcValue, env.self(), it});
+  }
+}
+
+void EquivocatorParty::on_message(sim::Env& env, PartyId from, const sim::Message& msg) {
+  // Honest relay of everyone's broadcasts keeps this attacker inside the
+  // quorums, maximizing the chance its split values get delivered somewhere.
+  if (msg.kind <= protocols::kRbcReady && msg.key.a != env.self()) {
+    mux_.handle(env, from, msg);
+  }
+}
+
+// ---------------------------------------------------------- SpammerParty
+
+void SpammerParty::spam(sim::Env& env) {
+  const auto n32 = static_cast<std::uint32_t>(env.n());
+  for (int burst = 0; burst < 4; ++burst) {
+    InstanceKey key{static_cast<std::uint32_t>(rng_.next_below(10)),
+                    static_cast<std::uint32_t>(rng_.next_below(n32 * 2)),
+                    static_cast<std::uint32_t>(rng_.next_below(1u << 22))};
+    Bytes junk(rng_.next_below(64), static_cast<std::uint8_t>(rng_.next_u64()));
+    const auto kind = static_cast<std::uint8_t>(rng_.next_below(5));
+    env.send(static_cast<PartyId>(rng_.next_below(env.n())),
+             sim::Message{key, kind, std::move(junk)});
+  }
+}
+
+void SpammerParty::start(sim::Env& env) {
+  spam(env);
+  env.set_timer(env.now() + period_, 0);
+}
+
+void SpammerParty::on_timer(sim::Env& env, std::uint64_t) {
+  if (env.now() >= stop_at_) return;
+  spam(env);
+  env.set_timer(env.now() + period_, 0);
+}
+
+// ------------------------------------------------------- HaltRusherParty
+
+void HaltRusherParty::start(sim::Env& env) {
+  // A well-formed initial value keeps the rusher plausible; the forged halt
+  // claims agreement was reached after one iteration.
+  mux_.broadcast(env, InstanceKey{kRbcInitValue, env.self(), 0}, encode_value(value_));
+  mux_.broadcast(env, InstanceKey{kRbcObcValue, env.self(), 1}, encode_value(value_));
+  mux_.broadcast(env, InstanceKey{kRbcHalt, env.self(), 1}, Bytes{});
+}
+
+void HaltRusherParty::on_message(sim::Env& env, PartyId from, const sim::Message& msg) {
+  if (msg.kind <= protocols::kRbcReady) mux_.handle(env, from, msg);
+}
+
+// -------------------------------------------------------- TurncoatParty
+
+void TurncoatParty::sabotage(sim::Env& env) {
+  sabotaged_ = true;
+  // Equivocating SENDs for the next iterations' OBC values and a forged
+  // early halt, under our own (authenticated) identity.
+  for (std::uint32_t it = 1; it <= 32; ++it) {
+    for (PartyId r = 0; r < env.n(); ++r) {
+      geo::Vec v(params_.dim, 0.0);
+      for (std::size_t d = 0; d < params_.dim; ++d) {
+        v[d] = 1e4 * static_cast<double>(r + 1) * (d % 2 == 0 ? 1.0 : -1.0);
+      }
+      env.send(r, sim::Message{InstanceKey{kRbcObcValue, env.self(), it},
+                               protocols::kRbcSend, encode_value(v)});
+    }
+  }
+  mux_.broadcast(env, InstanceKey{kRbcHalt, env.self(), 1}, Bytes{});
+}
+
+void TurncoatParty::start(sim::Env& env) {
+  honest_->start(env);
+  env.set_timer(turn_at_, 0);
+}
+
+void TurncoatParty::on_message(sim::Env& env, PartyId from, const sim::Message& msg) {
+  if (!turned(env)) {
+    honest_->on_message(env, from, msg);
+    return;
+  }
+  if (!sabotaged_) sabotage(env);
+  // Keep relaying RBC traffic so the attack stays inside the quorums.
+  if (msg.kind <= protocols::kRbcReady) mux_.handle(env, from, msg);
+}
+
+void TurncoatParty::on_timer(sim::Env& env, std::uint64_t timer_id) {
+  if (!turned(env)) {
+    honest_->on_timer(env, timer_id);
+    return;
+  }
+  if (!sabotaged_) sabotage(env);
+}
+
+// ---------------------------------------------------- StragglerEchoParty
+
+void StragglerEchoParty::on_message(sim::Env& env, PartyId from,
+                                    const sim::Message& msg) {
+  if (msg.kind <= protocols::kRbcReady) mux_.handle(env, from, msg);
+}
+
+}  // namespace hydra::adversary

@@ -1,0 +1,172 @@
+// Byzantine party behaviours.
+//
+// A Byzantine party is just an IParty with hostile logic: it can send any
+// message it likes under its own identity (channels are authenticated, so it
+// cannot impersonate others), relay or withhold sub-protocol traffic, and
+// coordinate with the delay adversary in adversary/schedulers.hpp.
+//
+// The library covers the canonical attack surfaces of the paper's model:
+//   SilentParty       never sends anything (the Theorem 3.2 construction);
+//   CrashParty        honest until a configured time, then dead (adaptive
+//                     corruption of an honest party mid-run);
+//   EquivocatorParty  sends conflicting initial values to different
+//                     receivers in every reliable broadcast it initiates,
+//                     while relaying other parties' broadcasts honestly —
+//                     the attack ΠrBC's echo quorums must defeat;
+//   SpammerParty      floods malformed payloads, exotic instance keys and
+//                     oversized reports (exercises defensive decoding);
+//   HaltRusherParty   reliably broadcasts (halt, 1) immediately, trying to
+//                     trick honest parties into outputting early;
+//   StragglerEcho     participates in ΠrBC relaying only — contributes to
+//                     quorums but never supplies values, reports or
+//                     witness sets (a "lurking" corruption).
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "geometry/vec.hpp"
+#include "protocols/aa.hpp"
+#include "protocols/params.hpp"
+#include "protocols/rbc.hpp"
+#include "sim/env.hpp"
+
+namespace hydra::adversary {
+
+class SilentParty final : public sim::IParty {
+ public:
+  void start(sim::Env&) override {}
+  void on_message(sim::Env&, PartyId, const sim::Message&) override {}
+  void on_timer(sim::Env&, std::uint64_t) override {}
+};
+
+/// Runs `inner` faithfully until local time `crash_at`, then goes dark.
+class CrashParty final : public sim::IParty {
+ public:
+  CrashParty(std::unique_ptr<sim::IParty> inner, Time crash_at)
+      : inner_(std::move(inner)), crash_at_(crash_at) {}
+
+  void start(sim::Env& env) override;
+  void on_message(sim::Env& env, PartyId from, const sim::Message& msg) override;
+  void on_timer(sim::Env& env, std::uint64_t timer_id) override;
+
+ private:
+  [[nodiscard]] bool crashed(const sim::Env& env) const noexcept;
+
+  std::unique_ptr<sim::IParty> inner_;
+  Time crash_at_;
+};
+
+/// Equivocates its own broadcasts: receiver r gets `base + r * spread` in
+/// every coordinate. Relays everyone else's RBC traffic honestly so it still
+/// contributes to echo/ready quorums (the strongest useful variant of this
+/// attack — a non-relaying equivocator is strictly weaker than Silent plus
+/// this one).
+class EquivocatorParty final : public sim::IParty {
+ public:
+  EquivocatorParty(protocols::Params params, geo::Vec base, double spread,
+                   std::uint32_t iterations = 64)
+      : params_(params), base_(std::move(base)), spread_(spread),
+        iterations_(iterations),
+        mux_(params_, [](sim::Env&, const InstanceKey&, const Bytes&) {}) {}
+
+  void start(sim::Env& env) override;
+  void on_message(sim::Env& env, PartyId from, const sim::Message& msg) override;
+  void on_timer(sim::Env&, std::uint64_t) override {}
+
+ private:
+  void equivocate(sim::Env& env, const InstanceKey& key);
+
+  protocols::Params params_;
+  geo::Vec base_;
+  double spread_;
+  std::uint32_t iterations_;
+  protocols::RbcMux mux_;
+};
+
+/// Periodically blasts malformed payloads, bogus instance keys, oversized
+/// party sets and truncated vectors at every party.
+class SpammerParty final : public sim::IParty {
+ public:
+  SpammerParty(protocols::Params params, std::uint64_t seed, Duration period,
+               Time stop_at)
+      : params_(params), rng_(seed), period_(period), stop_at_(stop_at) {}
+
+  void start(sim::Env& env) override;
+  void on_message(sim::Env&, PartyId, const sim::Message&) override {}
+  void on_timer(sim::Env& env, std::uint64_t timer_id) override;
+
+ private:
+  void spam(sim::Env& env);
+
+  protocols::Params params_;
+  Rng rng_;
+  Duration period_;
+  Time stop_at_;
+};
+
+/// Immediately reliably broadcasts (halt, 1) and a plausible-looking initial
+/// value, then relays RBC traffic honestly. ts copies of this attacker test
+/// that the (ts+1)-th-smallest rule resists forged early halts.
+class HaltRusherParty final : public sim::IParty {
+ public:
+  HaltRusherParty(protocols::Params params, geo::Vec value)
+      : params_(params), value_(std::move(value)),
+        mux_(params_, [](sim::Env&, const InstanceKey&, const Bytes&) {}) {}
+
+  void start(sim::Env& env) override;
+  void on_message(sim::Env& env, PartyId from, const sim::Message& msg) override;
+  void on_timer(sim::Env&, std::uint64_t) override {}
+
+ private:
+  protocols::Params params_;
+  geo::Vec value_;
+  protocols::RbcMux mux_;
+};
+
+/// Adaptive corruption: runs the full honest protocol until `turn_at`,
+/// then switches to hostile behaviour — spraying conflicting RBC SENDs for
+/// plausible instance keys under its own identity while continuing to relay
+/// (the worst position for the witness mechanism: its earlier honest
+/// traffic is already woven into everyone's state).
+class TurncoatParty final : public sim::IParty {
+ public:
+  TurncoatParty(protocols::Params params, geo::Vec input, Time turn_at)
+      : params_(params), turn_at_(turn_at),
+        honest_(std::make_unique<protocols::AaParty>(params_, std::move(input))),
+        mux_(params_, [](sim::Env&, const InstanceKey&, const Bytes&) {}) {}
+
+  void start(sim::Env& env) override;
+  void on_message(sim::Env& env, PartyId from, const sim::Message& msg) override;
+  void on_timer(sim::Env& env, std::uint64_t timer_id) override;
+
+ private:
+  [[nodiscard]] bool turned(const sim::Env& env) const noexcept {
+    return env.now() >= turn_at_;
+  }
+  void sabotage(sim::Env& env);
+
+  protocols::Params params_;
+  Time turn_at_;
+  std::unique_ptr<sim::IParty> honest_;
+  protocols::RbcMux mux_;
+  bool sabotaged_ = false;
+};
+
+/// Relays ΠrBC echo/ready traffic honestly but never initiates anything.
+class StragglerEchoParty final : public sim::IParty {
+ public:
+  explicit StragglerEchoParty(protocols::Params params)
+      : params_(params),
+        mux_(params_, [](sim::Env&, const InstanceKey&, const Bytes&) {}) {}
+
+  void start(sim::Env&) override {}
+  void on_message(sim::Env& env, PartyId from, const sim::Message& msg) override;
+  void on_timer(sim::Env&, std::uint64_t) override {}
+
+ private:
+  protocols::Params params_;
+  protocols::RbcMux mux_;
+};
+
+}  // namespace hydra::adversary

@@ -1,0 +1,36 @@
+#include "adversary/schedulers.hpp"
+
+#include <algorithm>
+
+namespace hydra::adversary {
+
+Duration PartitionScheduler::delay(PartyId from, PartyId to, Time now,
+                                   const sim::Message& msg, Rng& rng) {
+  const Duration base = base_->delay(from, to, now, msg, rng);
+  const bool crosses = group_.contains(from) != group_.contains(to);
+  if (crosses && now >= from_ && now < until_) {
+    return std::max<Duration>(base, until_ - now + base);
+  }
+  return base;
+}
+
+Duration TargetedScheduler::delay(PartyId from, PartyId to, Time now,
+                                  const sim::Message& msg, Rng& rng) {
+  if (victims_.contains(from) || victims_.contains(to)) return max_delay_;
+  return base_->delay(from, to, now, msg, rng);
+}
+
+Duration RushingScheduler::delay(PartyId from, PartyId /*to*/, Time /*now*/,
+                                 const sim::Message& /*msg*/, Rng& /*rng*/) {
+  return corrupted_.contains(from) ? fast_ : slow_;
+}
+
+Duration ReorderScheduler::delay(PartyId /*from*/, PartyId /*to*/, Time /*now*/,
+                                 const sim::Message& /*msg*/, Rng& rng) {
+  if (rng.next_double() < tail_prob_) {
+    return rng.next_int(delta_, tail_cap_);
+  }
+  return rng.next_int(1, delta_);
+}
+
+}  // namespace hydra::adversary

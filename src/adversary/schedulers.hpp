@@ -1,0 +1,99 @@
+// Network-scheduling adversaries: DelayModel decorators that exercise the
+// adversary's control over message delivery.
+//
+// Under synchrony the adversary may pick any delay in (0, Delta]; under
+// asynchrony any finite delay. These schedulers implement the standard
+// worst-case strategies:
+//   PartitionScheduler   all traffic across a party-set boundary is held for
+//                        a window (asynchronous "network in distress");
+//   TargetedScheduler    traffic from/to a victim set always takes the
+//                        maximum the model allows;
+//   RushingScheduler     messages from the corrupted set arrive at minimum
+//                        latency while honest traffic takes the maximum —
+//                        lets Byzantine values always arrive first;
+//   ReorderScheduler     random per-message jitter with a heavy tail,
+//                        aggressively reordering (asynchronous only).
+#pragma once
+
+#include <memory>
+#include <set>
+
+#include "common/types.hpp"
+#include "sim/delay.hpp"
+
+namespace hydra::adversary {
+
+/// Messages crossing the boundary of `group` during [from, until) are
+/// delayed until at least `until` (plus the base delay); all other traffic
+/// uses `base`. Models an eventual-delivery partition, so it is only a
+/// legal adversary for asynchronous runs.
+class PartitionScheduler final : public sim::DelayModel {
+ public:
+  PartitionScheduler(std::unique_ptr<sim::DelayModel> base, std::set<PartyId> group,
+                     Time from, Time until)
+      : base_(std::move(base)), group_(std::move(group)), from_(from), until_(until) {}
+
+  [[nodiscard]] Duration delay(PartyId from, PartyId to, Time now,
+                               const sim::Message& msg, Rng& rng) override;
+
+ private:
+  std::unique_ptr<sim::DelayModel> base_;
+  std::set<PartyId> group_;
+  Time from_;
+  Time until_;
+};
+
+/// Traffic touching any victim always takes exactly `max_delay`; the rest
+/// uses `base`. With max_delay <= Delta this is a legal synchronous
+/// adversary that keeps chosen parties one step behind everyone else.
+class TargetedScheduler final : public sim::DelayModel {
+ public:
+  TargetedScheduler(std::unique_ptr<sim::DelayModel> base, std::set<PartyId> victims,
+                    Duration max_delay)
+      : base_(std::move(base)), victims_(std::move(victims)), max_delay_(max_delay) {}
+
+  [[nodiscard]] Duration delay(PartyId from, PartyId to, Time now,
+                               const sim::Message& msg, Rng& rng) override;
+
+ private:
+  std::unique_ptr<sim::DelayModel> base_;
+  std::set<PartyId> victims_;
+  Duration max_delay_;
+};
+
+/// Corrupted senders' messages arrive after `fast` ticks; honest senders'
+/// after `slow` ticks. With slow <= Delta this is a legal synchronous
+/// adversary ("rushing": the adversary sees honest traffic before honest
+/// parties see each other's).
+class RushingScheduler final : public sim::DelayModel {
+ public:
+  RushingScheduler(std::set<PartyId> corrupted, Duration fast, Duration slow)
+      : corrupted_(std::move(corrupted)), fast_(fast), slow_(slow) {}
+
+  [[nodiscard]] Duration delay(PartyId from, PartyId to, Time now,
+                               const sim::Message& msg, Rng& rng) override;
+
+ private:
+  std::set<PartyId> corrupted_;
+  Duration fast_;
+  Duration slow_;
+};
+
+/// Heavy-tailed random delays: with probability `tail_prob` a message takes
+/// a uniformly random delay in [delta, tail_cap]; otherwise in [1, delta].
+/// Violates any Delta bound — asynchronous adversary with heavy reordering.
+class ReorderScheduler final : public sim::DelayModel {
+ public:
+  ReorderScheduler(Duration delta, double tail_prob, Duration tail_cap)
+      : delta_(delta), tail_prob_(tail_prob), tail_cap_(tail_cap) {}
+
+  [[nodiscard]] Duration delay(PartyId from, PartyId to, Time now,
+                               const sim::Message& msg, Rng& rng) override;
+
+ private:
+  Duration delta_;
+  double tail_prob_;
+  Duration tail_cap_;
+};
+
+}  // namespace hydra::adversary

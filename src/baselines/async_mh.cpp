@@ -1,0 +1,20 @@
+#include "baselines/async_mh.hpp"
+
+namespace hydra::baselines {
+
+protocols::Params to_hybrid_params(const AsyncMhConfig& config) {
+  protocols::Params p;
+  p.n = config.n;
+  p.ts = config.t;
+  p.ta = config.t;
+  p.dim = config.dim;
+  p.eps = config.eps;
+  p.delta = config.delta;
+  return p;
+}
+
+bool async_mh_feasible(const AsyncMhConfig& config) {
+  return to_hybrid_params(config).feasible();  // (D+1)t + t < n == (D+2)t < n
+}
+
+}  // namespace hydra::baselines

@@ -1,0 +1,86 @@
+#include "baselines/sync_lockstep.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "geometry/safe_area.hpp"
+#include "protocols/keys.hpp"
+
+namespace hydra::baselines {
+namespace {
+
+/// Instance-key tag for lock-step round messages; kept out of the hybrid
+/// protocol's tag space (protocols/keys.hpp stops at kRbcHalt = 6).
+constexpr std::uint32_t kLockstepValue = 16;
+
+}  // namespace
+
+SyncLockstepParty::SyncLockstepParty(SyncLockstepConfig config, geo::Vec input)
+    : config_(config), input_(std::move(input)), value_(input_) {
+  HYDRA_ASSERT_MSG(config_.feasible(), "(D+1) t < n violated");
+  HYDRA_ASSERT(input_.dim() == config_.dim);
+  HYDRA_ASSERT(config_.rounds >= 1);
+}
+
+void SyncLockstepParty::start(sim::Env& env) {
+  history_.push_back(value_);
+  send_round(env);
+}
+
+void SyncLockstepParty::send_round(sim::Env& env) {
+  env.broadcast(sim::Message{
+      InstanceKey{kLockstepValue, 0, static_cast<std::uint32_t>(round_)},
+      protocols::kDirect, protocols::encode_value(value_)});
+  env.set_timer(env.now() + config_.delta, round_);
+}
+
+void SyncLockstepParty::on_message(sim::Env& env, PartyId from,
+                                   const sim::Message& msg) {
+  (void)env;
+  if (output_ || msg.key.tag != kLockstepValue || msg.kind != protocols::kDirect) {
+    return;
+  }
+  const std::uint64_t round = msg.key.b;
+  // Late (or absurdly early) traffic is dropped — a timeout-based receiver.
+  if (round != round_) return;
+  auto value = protocols::decode_value(msg.payload, config_.dim);
+  if (!value) return;
+  received_[round].emplace(from, std::move(*value));
+}
+
+void SyncLockstepParty::on_timer(sim::Env& env, std::uint64_t timer_round) {
+  if (output_ || timer_round != round_) return;
+  close_round(env);
+}
+
+void SyncLockstepParty::close_round(sim::Env& env) {
+  auto& m = received_[round_];
+  if (m.size() >= config_.n - config_.t) {
+    // Under synchrony all honest values are in m, so at most k of them are
+    // Byzantine: trim exactly k (the ta = 0 instance of the paper's rule).
+    const std::size_t k = m.size() - (config_.n - config_.t);
+    std::vector<geo::Vec> values;
+    values.reserve(m.size());
+    for (const auto& [party, value] : m) values.push_back(value);
+    if (const auto mid = geo::safe_area_midpoint(values, k)) {
+      value_ = *mid;
+    }
+    // An empty safe area cannot happen under true synchrony (Lemma 5.5 with
+    // ta = 0); if asynchrony produced one, keep the old value.
+  } else {
+    // Synchrony violated: not even n - t values arrived. No safe update
+    // exists; keep the current value and record the violation.
+    starved_ += 1;
+  }
+  received_.erase(round_);
+  history_.push_back(value_);
+
+  round_ += 1;
+  if (round_ >= config_.rounds) {
+    output_ = value_;
+    return;
+  }
+  send_round(env);
+}
+
+}  // namespace hydra::baselines

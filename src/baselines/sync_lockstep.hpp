@@ -1,0 +1,82 @@
+// Synchronous lock-step baseline in the style of Vaidya-Garg [32]: D-AA
+// with resilience (D + 1) t < n that assumes the network is synchronous and
+// the parties' clocks aligned, and has NO guarantees once a message misses
+// its round.
+//
+// Structure (classic iterated safe-area averaging):
+//   round r: broadcast the current value tagged with r; at the round
+//   boundary (round length Delta — exactly the message-delay bound) collect
+//   the values received for r;
+//     if |M| >= n - t : trim k = |M| - (n - t) outliers via the safe area
+//                       (under synchrony all honest values arrived, so at
+//                       most k of M are Byzantine) and move to the midpoint
+//                       of its diameter pair;
+//     else            : keep the current value (the synchrony assumption is
+//                       broken; the protocol silently loses its guarantees —
+//                       this is the documented failure mode the hybrid
+//                       protocol exists to fix);
+//   after R rounds output the current value.
+//
+// R comes from the caller ("known input bounds" assumption: R >=
+// log_sqrt(7/8)(eps / input-diameter)); there is no halting agreement —
+// under synchrony everyone reaches round R simultaneously.
+//
+// Late messages (arriving after their round closed) are DISCARDED, exactly
+// like a timeout-based real implementation. Under an asynchronous adversary
+// this loses honest values and breaks both agreement and validity, which is
+// what bench_baselines measures.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "geometry/vec.hpp"
+#include "protocols/codec.hpp"
+#include "sim/env.hpp"
+
+namespace hydra::baselines {
+
+struct SyncLockstepConfig {
+  std::size_t n = 4;
+  std::size_t t = 0;       ///< corruption bound; needs (D+1) t < n
+  std::size_t dim = 2;
+  Duration delta = 1000;   ///< round length == assumed delay bound
+  std::uint64_t rounds = 1;  ///< R, from known input bounds
+
+  [[nodiscard]] bool feasible() const noexcept { return n > (dim + 1) * t; }
+};
+
+class SyncLockstepParty final : public sim::IParty {
+ public:
+  SyncLockstepParty(SyncLockstepConfig config, geo::Vec input);
+
+  void start(sim::Env& env) override;
+  void on_message(sim::Env& env, PartyId from, const sim::Message& msg) override;
+  void on_timer(sim::Env& env, std::uint64_t timer_id) override;
+
+  [[nodiscard]] bool has_output() const noexcept { return output_.has_value(); }
+  [[nodiscard]] const geo::Vec& output() const { return *output_; }
+  [[nodiscard]] const geo::Vec& input() const noexcept { return input_; }
+  [[nodiscard]] const std::vector<geo::Vec>& value_history() const noexcept {
+    return history_;
+  }
+  /// Rounds in which fewer than n - t values arrived (synchrony violations).
+  [[nodiscard]] std::uint64_t starved_rounds() const noexcept { return starved_; }
+
+ private:
+  void send_round(sim::Env& env);
+  void close_round(sim::Env& env);
+
+  SyncLockstepConfig config_;
+  geo::Vec input_;
+  geo::Vec value_;
+
+  std::uint64_t round_ = 0;
+  std::map<std::uint64_t, std::map<PartyId, geo::Vec>> received_;  // per round
+  std::vector<geo::Vec> history_;
+  std::optional<geo::Vec> output_;
+  std::uint64_t starved_ = 0;
+};
+
+}  // namespace hydra::baselines

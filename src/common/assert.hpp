@@ -1,0 +1,31 @@
+// Always-on assertion macro. Protocol invariants are cheap relative to the
+// geometry kernels, so they stay enabled in release builds; a violated
+// invariant in a distributed protocol is exactly the bug class we must not
+// silently ignore.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hydra::detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "hydra assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+}  // namespace hydra::detail
+
+#define HYDRA_ASSERT(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::hydra::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+    }                                                                   \
+  } while (false)
+
+#define HYDRA_ASSERT_MSG(expr, msg)                                  \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::hydra::detail::assert_fail(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                \
+  } while (false)

@@ -1,0 +1,39 @@
+// Tiny leveled logger. Off by default so large experiment sweeps stay quiet;
+// tests and debugging sessions can raise the level per-run.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace hydra {
+
+enum class LogLevel : int { kOff = 0, kError = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
+
+namespace detail {
+inline LogLevel& log_level_ref() noexcept {
+  static LogLevel level = LogLevel::kOff;
+  return level;
+}
+}  // namespace detail
+
+inline void set_log_level(LogLevel level) noexcept { detail::log_level_ref() = level; }
+[[nodiscard]] inline LogLevel log_level() noexcept { return detail::log_level_ref(); }
+
+[[nodiscard]] inline bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) <= static_cast<int>(detail::log_level_ref());
+}
+
+}  // namespace hydra
+
+// printf-style logging; evaluates arguments only when the level is active.
+#define HYDRA_LOG(level, ...)                                      \
+  do {                                                             \
+    if (::hydra::log_enabled(level)) {                             \
+      std::fprintf(stderr, __VA_ARGS__);                           \
+      std::fputc('\n', stderr);                                    \
+    }                                                              \
+  } while (false)
+
+#define HYDRA_LOG_DEBUG(...) HYDRA_LOG(::hydra::LogLevel::kDebug, __VA_ARGS__)
+#define HYDRA_LOG_TRACE(...) HYDRA_LOG(::hydra::LogLevel::kTrace, __VA_ARGS__)
+#define HYDRA_LOG_INFO(...) HYDRA_LOG(::hydra::LogLevel::kInfo, __VA_ARGS__)

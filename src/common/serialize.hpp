@@ -1,0 +1,145 @@
+// Minimal binary serialization for protocol payloads.
+//
+// Reliable broadcast (protocols/rbc.hpp) transports opaque byte vectors;
+// every layer above it encodes its own messages with Writer/Reader. The
+// format is little-endian, length-prefixed, with no alignment padding —
+// enough to make message sizes realistic and byte accounting meaningful.
+//
+// Readers are written defensively: a Byzantine party controls payload bytes,
+// so every decode reports failure via ok() instead of invoking UB.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hydra {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+
+  void bytes(std::span<const std::uint8_t> b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  /// Vector of doubles (e.g. a point in R^D).
+  void f64_vec(std::span<const double> v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    for (double x : v) f64(x);
+  }
+
+  [[nodiscard]] const Bytes& data() const noexcept { return out_; }
+  [[nodiscard]] Bytes take() noexcept { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) noexcept : data_(data) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] bool at_end() const noexcept { return pos_ == data_.size(); }
+
+  std::uint8_t u8() {
+    if (!ensure(1)) return 0;
+    return data_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    if (!ensure(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{data_[pos_++]} << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    if (!ensure(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{data_[pos_++]} << (8 * i);
+    return v;
+  }
+
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  Bytes bytes() {
+    const std::uint32_t len = u32();
+    if (!ensure(len)) return {};
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return out;
+  }
+
+  std::string str() {
+    const std::uint32_t len = u32();
+    if (!ensure(len)) return {};
+    std::string out(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return out;
+  }
+
+  std::vector<double> f64_vec(std::uint32_t max_len = 1u << 20) {
+    const std::uint32_t len = u32();
+    if (len > max_len || !ensure(std::size_t{len} * 8)) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<double> out;
+    out.reserve(len);
+    for (std::uint32_t i = 0; i < len; ++i) out.push_back(f64());
+    return out;
+  }
+
+ private:
+  [[nodiscard]] bool ensure(std::size_t need) noexcept {
+    if (!ok_ || data_.size() - pos_ < need) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace hydra

@@ -1,0 +1,58 @@
+// Core identifier and time types shared by every hydra-aa module.
+//
+// Time is virtual and integral: the discrete-event simulator advances an
+// int64 tick counter, and the thread transport maps ticks onto wall-clock
+// microseconds. Integral time keeps runs bit-for-bit reproducible.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace hydra {
+
+/// Index of a party in [0, n). Party `i` in code corresponds to the paper's
+/// P_{i+1}. The identity carried on a channel is unforgeable (authenticated
+/// channels, Section 2 of the paper).
+using PartyId = std::uint32_t;
+
+inline constexpr PartyId kInvalidParty = std::numeric_limits<PartyId>::max();
+
+/// Virtual time in ticks. Tick 0 is protocol start.
+using Time = std::int64_t;
+
+/// A span of virtual time in ticks.
+using Duration = std::int64_t;
+
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::max();
+
+/// Identifies a sub-protocol instance, playing the role of the
+/// "identification numbers" the paper attaches to messages (Section 2).
+///
+/// `tag` names the protocol layer (see protocols/keys.hpp); `a` and `b` are
+/// layer-specific coordinates, e.g. (sender, iteration) for a reliable
+/// broadcast instance inside iteration `b` of Pi_AA.
+struct InstanceKey {
+  std::uint32_t tag = 0;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+
+  friend auto operator<=>(const InstanceKey&, const InstanceKey&) = default;
+};
+
+struct InstanceKeyHash {
+  [[nodiscard]] std::size_t operator()(const InstanceKey& k) const noexcept {
+    std::uint64_t h = (std::uint64_t{k.tag} << 40) ^ (std::uint64_t{k.a} << 20) ^
+                      std::uint64_t{k.b};
+    // splitmix64 finalizer
+    h += 0x9e3779b97f4a7c15ULL;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(h ^ (h >> 31));
+  }
+};
+
+}  // namespace hydra

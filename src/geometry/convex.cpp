@@ -1,0 +1,201 @@
+#include "geometry/convex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "common/assert.hpp"
+#include "geometry/lp.hpp"
+
+namespace hydra::geo {
+namespace {
+
+/// Uniform affine normalization (translate to centroid, scale into the unit
+/// box). Convex-hull membership and intersection are affine-invariant, and a
+/// POSITIVE UNIFORM scale preserves support directions, so solving the
+/// normalized system is exact — while conditioning the simplex tableau to
+/// O(1) entries even when inputs mix coordinates of size 1 and 1e6
+/// (Byzantine outliers routinely do).
+struct Normalization {
+  Vec center;
+  double scale = 1.0;
+
+  [[nodiscard]] Vec forward(const Vec& p) const {
+    Vec out = p;
+    out -= center;
+    out *= 1.0 / scale;
+    return out;
+  }
+
+  [[nodiscard]] Vec backward(const Vec& p) const {
+    Vec out = p;
+    out *= scale;
+    out += center;
+    return out;
+  }
+};
+
+Normalization normalize_of(std::span<const std::vector<Vec>> hulls) {
+  const std::size_t dim = hulls[0][0].dim();
+  Normalization norm;
+  norm.center = Vec(dim, 0.0);
+  std::size_t count = 0;
+  for (const auto& h : hulls) {
+    for (const auto& p : h) {
+      norm.center += p;
+      ++count;
+    }
+  }
+  norm.center *= 1.0 / static_cast<double>(count);
+  double extent = 0.0;
+  for (const auto& h : hulls) {
+    for (const auto& p : h) {
+      for (std::size_t d = 0; d < dim; ++d) {
+        extent = std::max(extent, std::abs(p[d] - norm.center[d]));
+      }
+    }
+  }
+  norm.scale = extent > 0.0 ? extent : 1.0;
+  return norm;
+}
+
+std::vector<std::vector<Vec>> apply_normalization(
+    std::span<const std::vector<Vec>> hulls, const Normalization& norm) {
+  std::vector<std::vector<Vec>> out;
+  out.reserve(hulls.size());
+  for (const auto& h : hulls) {
+    std::vector<Vec> nh;
+    nh.reserve(h.size());
+    for (const auto& p : h) nh.push_back(norm.forward(p));
+    out.push_back(std::move(nh));
+  }
+  return out;
+}
+
+/// Builds the constraint system for "x lies in every hull simultaneously":
+/// one convex-combination weight block per hull, coupled coordinate-wise to
+/// the first block. Returns the column offset of each block.
+struct HullSystem {
+  Matrix a;
+  std::vector<double> b;
+  std::vector<std::size_t> block_offset;
+  std::size_t num_vars = 0;
+  std::size_t dim = 0;
+};
+
+HullSystem build_system(std::span<const std::vector<Vec>> hulls) {
+  HYDRA_ASSERT(!hulls.empty());
+  const std::size_t dim = hulls[0][0].dim();
+  std::size_t num_vars = 0;
+  std::vector<std::size_t> offset;
+  offset.reserve(hulls.size());
+  for (const auto& h : hulls) {
+    HYDRA_ASSERT(!h.empty());
+    offset.push_back(num_vars);
+    num_vars += h.size();
+  }
+
+  // Rows: one normalization row per hull, plus D coupling rows per hull
+  // beyond the first.
+  const std::size_t rows = hulls.size() + dim * (hulls.size() - 1);
+  Matrix a(rows, num_vars);
+  std::vector<double> b(rows, 0.0);
+
+  for (std::size_t j = 0; j < hulls.size(); ++j) {
+    for (std::size_t i = 0; i < hulls[j].size(); ++i) a.at(j, offset[j] + i) = 1.0;
+    b[j] = 1.0;
+  }
+  std::size_t row = hulls.size();
+  for (std::size_t j = 1; j < hulls.size(); ++j) {
+    for (std::size_t d = 0; d < dim; ++d, ++row) {
+      for (std::size_t i = 0; i < hulls[j].size(); ++i) {
+        a.at(row, offset[j] + i) = hulls[j][i][d];
+      }
+      for (std::size_t i = 0; i < hulls[0].size(); ++i) {
+        a.at(row, offset[0] + i) = -hulls[0][i][d];
+      }
+      b[row] = 0.0;
+    }
+  }
+
+  return {.a = std::move(a),
+          .b = std::move(b),
+          .block_offset = std::move(offset),
+          .num_vars = num_vars,
+          .dim = dim};
+}
+
+Vec recover_point(const HullSystem& sys, std::span<const std::vector<Vec>> hulls,
+                  const std::vector<double>& x) {
+  Vec p(sys.dim, 0.0);
+  for (std::size_t i = 0; i < hulls[0].size(); ++i) {
+    const double w = x[sys.block_offset[0] + i];
+    if (w == 0.0) continue;
+    for (std::size_t d = 0; d < sys.dim; ++d) p[d] += w * hulls[0][i][d];
+  }
+  return p;
+}
+
+}  // namespace
+
+bool in_convex_hull(std::span<const Vec> points, const Vec& q, double tol) {
+  HYDRA_ASSERT(!points.empty());
+  const std::size_t dim = q.dim();
+  const std::size_t m = points.size();
+
+  // Normalize including q so the tableau entries are O(1); tolerance `tol`
+  // is interpreted in original coordinate units, hence divided by the scale.
+  std::vector<std::vector<Vec>> as_hull{{points.begin(), points.end()}};
+  as_hull[0].push_back(q);
+  const auto norm = normalize_of(as_hull);
+  const Vec nq = norm.forward(q);
+
+  Matrix a(dim + 1, m);
+  std::vector<double> b(dim + 1, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    HYDRA_ASSERT(points[i].dim() == dim);
+    const Vec np = norm.forward(points[i]);
+    a.at(0, i) = 1.0;
+    for (std::size_t d = 0; d < dim; ++d) a.at(d + 1, i) = np[d];
+  }
+  b[0] = 1.0;
+  for (std::size_t d = 0; d < dim; ++d) b[d + 1] = nq[d];
+
+  const double scaled_tol = std::max(1e-12, tol / norm.scale);
+  const std::vector<double> zero_cost(m, 0.0);
+  const auto result =
+      solve_lp(a, b, zero_cost, {.tol = scaled_tol * 1e-2, .max_pivots = 0});
+  return result.status == LpStatus::kOptimal;
+}
+
+std::optional<Vec> intersection_point(std::span<const std::vector<Vec>> hulls,
+                                      double tol) {
+  const auto norm = normalize_of(hulls);
+  const auto nhulls = apply_normalization(hulls, norm);
+  const auto sys = build_system(nhulls);
+  const std::vector<double> zero_cost(sys.num_vars, 0.0);
+  const auto result = solve_lp(sys.a, sys.b, zero_cost, {.tol = tol, .max_pivots = 0});
+  if (result.status != LpStatus::kOptimal) return std::nullopt;
+  return norm.backward(recover_point(sys, nhulls, result.x));
+}
+
+std::optional<Vec> support_point(std::span<const std::vector<Vec>> hulls,
+                                 const Vec& direction, double tol) {
+  // A positive uniform scale + translation preserves which point is extreme
+  // in `direction`, so the normalized argmax maps back exactly.
+  const auto norm = normalize_of(hulls);
+  const auto nhulls = apply_normalization(hulls, norm);
+  const auto sys = build_system(nhulls);
+  HYDRA_ASSERT(direction.dim() == sys.dim);
+
+  // maximize direction . x  ==  minimize  -(direction . sum lambda^0 p^0).
+  std::vector<double> cost(sys.num_vars, 0.0);
+  for (std::size_t i = 0; i < nhulls[0].size(); ++i) {
+    cost[sys.block_offset[0] + i] = -dot(direction, nhulls[0][i]);
+  }
+  const auto result = solve_lp(sys.a, sys.b, cost, {.tol = tol, .max_pivots = 0});
+  if (result.status != LpStatus::kOptimal) return std::nullopt;
+  return norm.backward(recover_point(sys, nhulls, result.x));
+}
+
+}  // namespace hydra::geo

@@ -1,0 +1,36 @@
+// LP-backed convex operations valid in any dimension:
+//   * membership of a point in the convex hull of a finite point set,
+//   * a witness point in the intersection of several hulls,
+//   * support points (extreme in a given direction) of such intersections.
+//
+// These three primitives are exactly what the protocol and its correctness
+// oracles need from general-D geometry; everything else (the exact D<=2
+// kernels) lives in interval.hpp / polygon.hpp.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geometry/vec.hpp"
+
+namespace hydra::geo {
+
+/// True iff `q` lies in convex(points), within tolerance `tol` (absolute, in
+/// coordinate units). Implements the feasibility LP
+///   exists lambda >= 0 : sum lambda = 1, sum lambda_i p_i = q.
+[[nodiscard]] bool in_convex_hull(std::span<const Vec> points, const Vec& q,
+                                  double tol = 1e-7);
+
+/// A point in the intersection of the convex hulls of the given point sets,
+/// or nullopt if the intersection is empty. All sets must be non-empty and of
+/// equal dimension.
+[[nodiscard]] std::optional<Vec> intersection_point(
+    std::span<const std::vector<Vec>> hulls, double tol = 1e-9);
+
+/// The point of the hull intersection extreme in `direction` (maximizes
+/// direction . x), or nullopt if the intersection is empty.
+[[nodiscard]] std::optional<Vec> support_point(std::span<const std::vector<Vec>> hulls,
+                                               const Vec& direction, double tol = 1e-9);
+
+}  // namespace hydra::geo

@@ -1,0 +1,39 @@
+// Exact convex kernel for D = 1: a convex subset of R is a closed interval.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <span>
+
+namespace hydra::geo {
+
+/// Closed interval [lo, hi]; empty when lo > hi.
+struct Interval {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  [[nodiscard]] static Interval hull_of(std::span<const double> xs) noexcept {
+    Interval r;
+    for (double x : xs) {
+      r.lo = std::min(r.lo, x);
+      r.hi = std::max(r.hi, x);
+    }
+    return r;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return lo > hi; }
+
+  [[nodiscard]] Interval intersect(const Interval& o) const noexcept {
+    return {std::max(lo, o.lo), std::min(hi, o.hi)};
+  }
+
+  [[nodiscard]] bool contains(double x, double tol = 0.0) const noexcept {
+    return !empty() && x >= lo - tol && x <= hi + tol;
+  }
+
+  [[nodiscard]] double diameter() const noexcept { return empty() ? 0.0 : hi - lo; }
+
+  [[nodiscard]] double midpoint() const noexcept { return (lo + hi) / 2.0; }
+};
+
+}  // namespace hydra::geo

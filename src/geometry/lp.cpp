@@ -1,0 +1,258 @@
+#include "geometry/lp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace hydra::geo {
+namespace {
+
+// Full tableau simplex. Layout: rows 0..m-1 are constraints, columns
+// 0..total-1 are variables (structural then artificial), column `total` is
+// the RHS. The objective is kept as a separate row of reduced costs plus a
+// scalar. Bland's rule (smallest eligible index enters; smallest basic index
+// leaves among min-ratio ties) guarantees termination despite degeneracy.
+// The tableau runs in long double (80-bit extended on x86-64): the coupled
+// convex-hull systems this solver exists for are ill-conditioned by design
+// (Byzantine outliers), and the extra mantissa bits push pivot drift below
+// every tolerance in play.
+class Tableau {
+ public:
+  using Scalar = long double;
+
+  Tableau(const Matrix& a, const std::vector<double>& b, double tol)
+      : m_(a.rows()), n_(a.cols()), total_(n_ + m_), tol_(tol),
+        t_((m_ + 1) * (total_ + 1), 0.0L), basis_(m_), banned_(total_, false) {
+    for (std::size_t i = 0; i < m_; ++i) {
+      const double sign = b[i] < 0.0 ? -1.0 : 1.0;
+      for (std::size_t j = 0; j < n_; ++j) at(i, j) = sign * a.at(i, j);
+      at(i, n_ + i) = 1.0;  // artificial
+      rhs(i) = sign * b[i];
+      basis_[i] = n_ + i;
+    }
+  }
+
+  [[nodiscard]] Scalar& at(std::size_t r, std::size_t c) noexcept {
+    return t_[r * (total_ + 1) + c];
+  }
+  [[nodiscard]] Scalar at(std::size_t r, std::size_t c) const noexcept {
+    return t_[r * (total_ + 1) + c];
+  }
+  [[nodiscard]] Scalar& rhs(std::size_t r) noexcept { return at(r, total_); }
+  [[nodiscard]] Scalar rhs(std::size_t r) const noexcept { return at(r, total_); }
+  // Row m_ holds the objective (reduced costs; rhs(m_) = -objective value).
+  [[nodiscard]] Scalar& obj(std::size_t c) noexcept { return at(m_, c); }
+
+  /// Installs "minimize sum of artificials" as the objective row.
+  void load_phase1_objective() {
+    for (std::size_t j = 0; j <= total_; ++j) at(m_, j) = 0.0;
+    for (std::size_t j = n_; j < total_; ++j) obj(j) = 1.0;
+    // Price out the basic artificial variables.
+    for (std::size_t i = 0; i < m_; ++i) {
+      for (std::size_t j = 0; j <= total_; ++j) at(m_, j) -= at(i, j);
+    }
+  }
+
+  /// Installs the structural objective `c` (minimization), pricing out the
+  /// current basis; artificial columns become banned from entering.
+  void load_phase2_objective(const std::vector<double>& c) {
+    for (std::size_t j = 0; j <= total_; ++j) at(m_, j) = 0.0L;
+    for (std::size_t j = 0; j < n_; ++j) obj(j) = c[j];
+    for (std::size_t i = 0; i < m_; ++i) {
+      const std::size_t bj = basis_[i];
+      const Scalar cb = bj < n_ ? Scalar(c[bj]) : 0.0L;
+      if (cb == 0.0L) continue;
+      for (std::size_t j = 0; j <= total_; ++j) at(m_, j) -= cb * at(i, j);
+    }
+    for (std::size_t j = n_; j < total_; ++j) banned_[j] = true;
+  }
+
+  enum class Step { kOptimal, kUnbounded, kPivoted };
+
+  Step step() {
+    // Bland entering rule: smallest-index column with negative reduced cost.
+    std::size_t enter = total_;
+    for (std::size_t j = 0; j < total_; ++j) {
+      if (!banned_[j] && obj(j) < -tol_) {
+        enter = j;
+        break;
+      }
+    }
+    if (enter == total_) return Step::kOptimal;
+
+    // Ratio test; Bland leaving rule: among EXACT min-ratio rows, smallest
+    // basic variable index. The comparison must be exact — a tolerance
+    // window here can select a non-minimal ratio and drive basic variables
+    // negative, which compounds into infeasible "optima" on badly scaled
+    // inputs. Exact ties are what Bland's rule is for.
+    std::size_t leave = m_;
+    Scalar best_ratio = std::numeric_limits<Scalar>::infinity();
+    for (std::size_t i = 0; i < m_; ++i) {
+      const Scalar a = at(i, enter);
+      if (a > tol_) {
+        const Scalar ratio = rhs(i) / a;
+        if (ratio < best_ratio ||
+            (ratio == best_ratio && (leave == m_ || basis_[i] < basis_[leave]))) {
+          best_ratio = ratio;
+          leave = i;
+        }
+      }
+    }
+    if (leave == m_) return Step::kUnbounded;
+
+    pivot(leave, enter);
+    return Step::kPivoted;
+  }
+
+  void pivot(std::size_t row, std::size_t col) {
+    const Scalar p = at(row, col);
+    HYDRA_ASSERT(std::abs(static_cast<double>(p)) > tol_);
+    const Scalar inv = 1.0L / p;
+    for (std::size_t j = 0; j <= total_; ++j) at(row, j) *= inv;
+    at(row, col) = 1.0L;
+    for (std::size_t i = 0; i <= m_; ++i) {
+      if (i == row) continue;
+      const Scalar f = at(i, col);
+      if (f == 0.0L) continue;
+      for (std::size_t j = 0; j <= total_; ++j) at(i, j) -= f * at(row, j);
+      at(i, col) = 0.0L;
+    }
+    basis_[row] = col;
+  }
+
+  /// Drives artificial variables out of the basis after phase 1. A row whose
+  /// artificial cannot be replaced on any structural column is linearly
+  /// dependent: it is ZEROED OUT, because leaving it live would let phase-2
+  /// pivots push the (supposedly zero) artificial positive and silently
+  /// violate the original constraint.
+  void expel_artificials() {
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < n_) continue;
+      std::size_t col = total_;
+      Scalar best = 0.0L;
+      for (std::size_t j = 0; j < n_; ++j) {
+        const Scalar mag = std::abs(at(i, j));
+        if (mag > tol_ && mag > best) {
+          best = mag;
+          col = j;
+        }
+      }
+      if (col != total_) {
+        pivot(i, col);
+      } else {
+        for (std::size_t j = 0; j <= total_; ++j) at(i, j) = 0.0L;
+        at(i, basis_[i]) = 1.0L;  // keep the artificial basic, pinned at 0
+      }
+    }
+  }
+
+  [[nodiscard]] double objective_value() const noexcept {
+    return -static_cast<double>(rhs(m_));
+  }
+
+  [[nodiscard]] std::vector<double> extract_solution() const {
+    std::vector<double> x(n_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < n_) x[basis_[i]] = static_cast<double>(rhs(i));
+    }
+    return x;
+  }
+
+  [[nodiscard]] std::size_t m() const noexcept { return m_; }
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+
+ private:
+  std::size_t m_;
+  std::size_t n_;
+  std::size_t total_;
+  double tol_;
+  std::vector<Scalar> t_;
+  std::vector<std::size_t> basis_;
+  std::vector<bool> banned_;
+};
+
+}  // namespace
+
+LpResult solve_lp(const Matrix& a, const std::vector<double>& b,
+                  const std::vector<double>& c, const LpOptions& opts) {
+  HYDRA_ASSERT(a.rows() == b.size());
+  HYDRA_ASSERT(a.cols() == c.size());
+
+  // Equilibrate: scale rows then columns to unit max-norm. Convex-hull
+  // systems mix coefficient magnitudes freely (a Byzantine outlier at 1e5
+  // next to an honest cluster of spread 1e-4), and an unequilibrated dense
+  // tableau loses the small geometry entirely — pivots on the huge columns
+  // swamp the rounding budget of the tiny rows. Row scaling rescales each
+  // equality (sound for = constraints); positive column scaling substitutes
+  // x_j = col_scale_j * y_j, preserving y >= 0, and is undone on extraction.
+  Matrix as = a;
+  std::vector<double> bs = b;
+  std::vector<double> row_scale(a.rows(), 1.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double mx = std::abs(bs[i]);
+    for (std::size_t j = 0; j < a.cols(); ++j) mx = std::max(mx, std::abs(as.at(i, j)));
+    if (mx > 0.0) {
+      row_scale[i] = 1.0 / mx;
+      for (std::size_t j = 0; j < a.cols(); ++j) as.at(i, j) *= row_scale[i];
+      bs[i] *= row_scale[i];
+    }
+  }
+  std::vector<double> col_scale(a.cols(), 1.0);
+  std::vector<double> cs = c;
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    double mx = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i) mx = std::max(mx, std::abs(as.at(i, j)));
+    if (mx > 0.0) {
+      col_scale[j] = 1.0 / mx;
+      for (std::size_t i = 0; i < a.rows(); ++i) as.at(i, j) *= col_scale[j];
+      cs[j] *= col_scale[j];
+    }
+  }
+
+  Tableau t(as, bs, opts.tol);
+  const std::size_t max_pivots =
+      opts.max_pivots != 0 ? opts.max_pivots : 200 * (a.rows() + a.cols()) + 2000;
+
+  // Phase 1: reach a feasible basis.
+  t.load_phase1_objective();
+  std::size_t pivots = 0;
+  while (true) {
+    const auto s = t.step();
+    if (s == Tableau::Step::kOptimal) break;
+    HYDRA_ASSERT_MSG(s != Tableau::Step::kUnbounded,
+                     "phase-1 objective is bounded below by construction");
+    HYDRA_ASSERT_MSG(++pivots <= max_pivots, "simplex pivot budget exceeded (phase 1)");
+  }
+  // After equilibration the system is O(1)-scaled, so a fixed threshold on
+  // the phase-1 optimum is meaningful.
+  if (t.objective_value() > opts.tol * 1e3) {
+    return {.status = LpStatus::kInfeasible, .objective = 0.0, .x = {}};
+  }
+  t.expel_artificials();
+
+  // Phase 2: optimize the real objective (in scaled variables).
+  t.load_phase2_objective(cs);
+  pivots = 0;
+  while (true) {
+    const auto s = t.step();
+    if (s == Tableau::Step::kOptimal) break;
+    if (s == Tableau::Step::kUnbounded) {
+      return {.status = LpStatus::kUnbounded, .objective = 0.0, .x = {}};
+    }
+    HYDRA_ASSERT_MSG(++pivots <= max_pivots, "simplex pivot budget exceeded (phase 2)");
+  }
+
+  LpResult result;
+  result.status = LpStatus::kOptimal;
+  result.x = t.extract_solution();
+  // Undo the column substitution x_j = col_scale_j * y_j.
+  for (std::size_t j = 0; j < result.x.size(); ++j) result.x[j] *= col_scale[j];
+  result.objective = 0.0;
+  for (std::size_t j = 0; j < c.size(); ++j) result.objective += c[j] * result.x[j];
+  return result;
+}
+
+}  // namespace hydra::geo

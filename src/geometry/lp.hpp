@@ -1,0 +1,62 @@
+// Dense two-phase simplex solver for linear programs in standard form:
+//
+//     minimize    c^T x
+//     subject to  A x = b,  x >= 0.
+//
+// This is the general-dimension workhorse behind convex-hull membership
+// tests, safe-area feasibility (Lemma 5.5), and support-point computation
+// for D >= 3 (DESIGN.md section 5.3). Bland's anti-cycling rule keeps the
+// solver terminating on the degenerate geometry that approximate-agreement
+// instances routinely produce (many coincident points).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hydra::geo {
+
+/// Row-major dense matrix, sized once at construction.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+
+struct LpResult {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;       ///< c^T x at the optimum (valid when kOptimal)
+  std::vector<double> x;        ///< primal solution (valid when kOptimal)
+};
+
+struct LpOptions {
+  double tol = 1e-9;            ///< pivot / feasibility tolerance
+  std::size_t max_pivots = 0;   ///< 0 = automatic (scales with problem size)
+};
+
+/// Solves min c^T x s.t. Ax = b, x >= 0.
+///
+/// Rows with negative b are sign-flipped internally; callers need not
+/// normalize. Infeasibility is reported when the phase-1 optimum exceeds the
+/// tolerance.
+[[nodiscard]] LpResult solve_lp(const Matrix& a, const std::vector<double>& b,
+                                const std::vector<double>& c, const LpOptions& opts = {});
+
+}  // namespace hydra::geo

@@ -1,0 +1,19 @@
+#include "geometry/vec.hpp"
+
+#include <cstdio>
+
+namespace hydra::geo {
+
+std::string to_string(const Vec& v) {
+  std::string out = "(";
+  char buf[64];
+  for (std::size_t i = 0; i < v.dim(); ++i) {
+    std::snprintf(buf, sizeof buf, "%.6g", v[i]);
+    if (i != 0) out += ", ";
+    out += buf;
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace hydra::geo

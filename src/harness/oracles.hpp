@@ -1,0 +1,30 @@
+// Correctness oracles for Definition 2.4, independent of the protocol code:
+// validity is re-derived from the TRUE honest inputs via the LP point-in-hull
+// test, agreement from the raw outputs — no protocol bookkeeping is trusted.
+#pragma once
+
+#include <span>
+
+#include "geometry/vec.hpp"
+
+namespace hydra::harness {
+
+struct Verdict {
+  bool live = false;    ///< every honest party produced an output
+  bool valid = false;   ///< t-Validity: outputs inside convex(honest inputs)
+  bool agreed = false;  ///< (t, eps)-Agreement: output diameter <= eps
+  double output_diameter = 0.0;
+
+  [[nodiscard]] bool d_aa() const noexcept { return live && valid && agreed; }
+};
+
+/// Evaluates the three D-AA properties. `outputs` are the honest outputs
+/// actually produced (may be fewer than honest parties if liveness failed;
+/// pass expected_outputs to detect that). `tol` absorbs floating error in
+/// the hull membership test.
+[[nodiscard]] Verdict check_d_aa(std::span<const geo::Vec> outputs,
+                                 std::size_t expected_outputs,
+                                 std::span<const geo::Vec> honest_inputs, double eps,
+                                 double tol = 1e-5);
+
+}  // namespace hydra::harness

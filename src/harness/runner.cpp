@@ -1,0 +1,309 @@
+#include "harness/runner.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "adversary/behaviors.hpp"
+#include "adversary/schedulers.hpp"
+#include "baselines/async_mh.hpp"
+#include "baselines/sync_lockstep.hpp"
+#include "common/assert.hpp"
+#include "protocols/aa.hpp"
+#include "protocols/aa_iteration.hpp"
+#include "protocols/init.hpp"
+#include "sim/delay.hpp"
+#include "sim/simulation.hpp"
+
+namespace hydra::harness {
+namespace {
+
+using protocols::AaParty;
+using protocols::Params;
+
+std::set<PartyId> corrupted_set(std::size_t corruptions) {
+  std::set<PartyId> out;
+  for (std::size_t i = 0; i < corruptions; ++i) out.insert(static_cast<PartyId>(i));
+  return out;
+}
+
+std::unique_ptr<sim::DelayModel> make_network(const RunSpec& spec) {
+  const Duration delta = spec.params.delta;
+  switch (spec.network) {
+    case Network::kSyncWorstCase:
+      return std::make_unique<sim::FixedDelay>(delta);
+    case Network::kSyncJitter:
+      return std::make_unique<sim::UniformDelay>(1, delta);
+    case Network::kSyncTargeted:
+      return std::make_unique<adversary::TargetedScheduler>(
+          std::make_unique<sim::UniformDelay>(1, std::max<Duration>(1, delta / 2)),
+          std::set<PartyId>{static_cast<PartyId>(spec.params.n - 1)}, delta);
+    case Network::kSyncRushing:
+      return std::make_unique<adversary::RushingScheduler>(
+          corrupted_set(spec.corruptions), 1, delta);
+    case Network::kAsyncReorder:
+      return std::make_unique<adversary::ReorderScheduler>(delta, 0.3, 12 * delta);
+    case Network::kAsyncPartition: {
+      std::set<PartyId> group;
+      for (PartyId id = 0; id < spec.params.n / 2; ++id) group.insert(id);
+      return std::make_unique<adversary::PartitionScheduler>(
+          std::make_unique<sim::UniformDelay>(1, delta), std::move(group), 2 * delta,
+          50 * delta);
+    }
+    case Network::kAsyncExponential:
+      return std::make_unique<sim::ExponentialDelay>(2.0 * static_cast<double>(delta),
+                                                     60 * delta);
+  }
+  return std::make_unique<sim::FixedDelay>(delta);
+}
+
+std::unique_ptr<sim::IParty> make_byzantine(Adversary kind, const RunSpec& spec,
+                                            PartyId id, const geo::Vec& input,
+                                            std::uint64_t salt) {
+  const Params& p = spec.params;
+  switch (kind) {
+    case Adversary::kNone:
+    case Adversary::kSilent:
+      return std::make_unique<adversary::SilentParty>();
+    case Adversary::kCrash:
+      return std::make_unique<adversary::CrashParty>(
+          std::make_unique<AaParty>(p, input), (10 + Time(id) * 3) * p.delta);
+    case Adversary::kEquivocator: {
+      geo::Vec base(p.dim, 0.0);
+      base[0] = 3.0 * spec.workload_scale;
+      return std::make_unique<adversary::EquivocatorParty>(p, base,
+                                                           spec.workload_scale);
+    }
+    case Adversary::kOutlier: {
+      geo::Vec extreme(p.dim, 0.0);
+      for (std::size_t d = 0; d < p.dim; ++d) {
+        extreme[d] = (d % 2 == 0 ? 1.0 : -1.0) * 1e5 * spec.workload_scale;
+      }
+      return std::make_unique<AaParty>(p, extreme);
+    }
+    case Adversary::kHaltRusher:
+      return std::make_unique<adversary::HaltRusherParty>(p, geo::Vec(p.dim, 0.0));
+    case Adversary::kSpammer:
+      return std::make_unique<adversary::SpammerParty>(p, spec.seed ^ salt,
+                                                       p.delta / 2, 80 * p.delta);
+    case Adversary::kStraggler:
+      return std::make_unique<adversary::StragglerEchoParty>(p);
+    case Adversary::kTurncoat:
+      return std::make_unique<adversary::TurncoatParty>(p, input,
+                                                        (9 + Time(id) * 4) * p.delta);
+    case Adversary::kMixed: {
+      static constexpr Adversary kCycle[] = {
+          Adversary::kSilent,     Adversary::kEquivocator, Adversary::kOutlier,
+          Adversary::kHaltRusher, Adversary::kSpammer,     Adversary::kCrash,
+          Adversary::kTurncoat,
+      };
+      return make_byzantine(kCycle[id % std::size(kCycle)], spec, id, input, salt);
+    }
+  }
+  return std::make_unique<adversary::SilentParty>();
+}
+
+/// Accessors unifying the three protocol party types.
+struct HonestView {
+  const geo::Vec* input = nullptr;
+  bool has_output = false;
+  geo::Vec output;
+  std::uint64_t estimate = 0;
+  std::uint32_t output_iteration = 0;
+  const std::vector<geo::Vec>* history = nullptr;
+};
+
+}  // namespace
+
+std::string to_string(Network network) {
+  switch (network) {
+    case Network::kSyncWorstCase: return "sync-worst";
+    case Network::kSyncJitter: return "sync-jitter";
+    case Network::kSyncTargeted: return "sync-target";
+    case Network::kSyncRushing: return "sync-rush";
+    case Network::kAsyncReorder: return "async-reorder";
+    case Network::kAsyncPartition: return "async-partition";
+    case Network::kAsyncExponential: return "async-exp";
+  }
+  return "?";
+}
+
+bool is_synchronous(Network network) {
+  switch (network) {
+    case Network::kSyncWorstCase:
+    case Network::kSyncJitter:
+    case Network::kSyncTargeted:
+    case Network::kSyncRushing:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string to_string(Adversary adversary) {
+  switch (adversary) {
+    case Adversary::kNone: return "none";
+    case Adversary::kSilent: return "silent";
+    case Adversary::kCrash: return "crash";
+    case Adversary::kEquivocator: return "equivocate";
+    case Adversary::kOutlier: return "outlier";
+    case Adversary::kHaltRusher: return "halt-rush";
+    case Adversary::kSpammer: return "spam";
+    case Adversary::kStraggler: return "straggler";
+    case Adversary::kTurncoat: return "turncoat";
+    case Adversary::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+std::optional<Network> parse_network(std::string_view name) {
+  for (const auto network :
+       {Network::kSyncWorstCase, Network::kSyncJitter, Network::kSyncTargeted,
+        Network::kSyncRushing, Network::kAsyncReorder, Network::kAsyncPartition,
+        Network::kAsyncExponential}) {
+    if (to_string(network) == name) return network;
+  }
+  return std::nullopt;
+}
+
+std::optional<Adversary> parse_adversary(std::string_view name) {
+  for (const auto adversary :
+       {Adversary::kNone, Adversary::kSilent, Adversary::kCrash,
+        Adversary::kEquivocator, Adversary::kOutlier, Adversary::kHaltRusher,
+        Adversary::kSpammer, Adversary::kStraggler, Adversary::kTurncoat,
+        Adversary::kMixed}) {
+    if (to_string(adversary) == name) return adversary;
+  }
+  return std::nullopt;
+}
+
+std::optional<Protocol> parse_protocol(std::string_view name) {
+  for (const auto protocol :
+       {Protocol::kHybrid, Protocol::kSyncLockstep, Protocol::kAsyncMh}) {
+    if (to_string(protocol) == name) return protocol;
+  }
+  return std::nullopt;
+}
+
+std::string to_string(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kHybrid: return "hybrid";
+    case Protocol::kSyncLockstep: return "sync-lockstep";
+    case Protocol::kAsyncMh: return "async-mh";
+  }
+  return "?";
+}
+
+RunResult execute(const RunSpec& spec) {
+  const Params& p = spec.params;
+  HYDRA_ASSERT(spec.corruptions < p.n);
+
+  const auto inputs =
+      make_inputs(spec.workload, p.n, p.dim, spec.workload_scale, spec.seed);
+
+  sim::Simulation sim(
+      sim::SimConfig{
+          .n = p.n, .delta = p.delta, .seed = spec.seed, .max_time = spec.max_time},
+      make_network(spec));
+
+  // For the lock-step baseline, R comes from the true input diameter (the
+  // baseline's "known input bounds" assumption).
+  baselines::SyncLockstepConfig lockstep{
+      .n = p.n,
+      .t = p.ts,
+      .dim = p.dim,
+      .delta = p.delta,
+      .rounds = protocols::sufficient_iterations(
+          p.eps, std::max(1e-12, geo::diameter(inputs)))};
+
+  std::vector<const AaParty*> hybrid_parties;
+  std::vector<const baselines::SyncLockstepParty*> lockstep_parties;
+  std::vector<geo::Vec> honest_inputs;
+
+  for (PartyId id = 0; id < p.n; ++id) {
+    const bool corrupt = id < spec.corruptions && spec.adversary != Adversary::kNone;
+    if (corrupt) {
+      sim.add_party(make_byzantine(spec.adversary, spec, id, inputs[id], 0x9e3779b9));
+      continue;
+    }
+    honest_inputs.push_back(inputs[id]);
+    switch (spec.protocol) {
+      case Protocol::kHybrid: {
+        auto party = std::make_unique<AaParty>(p, inputs[id]);
+        hybrid_parties.push_back(party.get());
+        sim.add_party(std::move(party));
+        break;
+      }
+      case Protocol::kAsyncMh: {
+        // ts = ta = t: identical machinery, baseline thresholds.
+        Params mh = p;
+        mh.ta = mh.ts;
+        auto party = std::make_unique<AaParty>(mh, inputs[id]);
+        hybrid_parties.push_back(party.get());
+        sim.add_party(std::move(party));
+        break;
+      }
+      case Protocol::kSyncLockstep: {
+        auto party = std::make_unique<baselines::SyncLockstepParty>(lockstep, inputs[id]);
+        lockstep_parties.push_back(party.get());
+        sim.add_party(std::move(party));
+        break;
+      }
+    }
+  }
+
+  const std::uint64_t fallbacks_before = protocols::safe_area_fallback_count();
+  const auto stats = sim.run();
+
+  RunResult result;
+  result.safe_area_fallbacks =
+      protocols::safe_area_fallback_count() - fallbacks_before;
+  for (const auto sent : stats.sent_per_party) {
+    result.max_sent_by_party = std::max(result.max_sent_by_party, sent);
+  }
+  result.input_diameter = geo::diameter(honest_inputs);
+  result.messages = stats.messages;
+  result.bytes = stats.bytes;
+  result.end_time = stats.end_time;
+  result.hit_limit = stats.hit_limit;
+  result.rounds = static_cast<double>(stats.end_time) / static_cast<double>(p.delta);
+
+  std::vector<geo::Vec> outputs;
+  std::size_t expected = 0;
+  if (spec.protocol == Protocol::kSyncLockstep) {
+    expected = lockstep_parties.size();
+    for (const auto* party : lockstep_parties) {
+      if (party->has_output()) outputs.push_back(party->output());
+    }
+  } else {
+    expected = hybrid_parties.size();
+    result.min_estimate = UINT64_MAX;
+    std::size_t min_history = SIZE_MAX;
+    for (const auto* party : hybrid_parties) {
+      if (party->has_output()) outputs.push_back(party->output());
+      result.min_estimate = std::min(result.min_estimate, party->estimate());
+      result.max_estimate = std::max(result.max_estimate, party->estimate());
+      result.max_output_iteration =
+          std::max(result.max_output_iteration, party->output_iteration());
+      min_history = std::min(min_history, party->value_history().size());
+    }
+    if (result.min_estimate == UINT64_MAX) result.min_estimate = 0;
+    // Honest value diameter per iteration (v_0, v_1, ...).
+    if (min_history != SIZE_MAX) {
+      for (std::size_t i = 0; i < min_history; ++i) {
+        std::vector<geo::Vec> layer;
+        layer.reserve(hybrid_parties.size());
+        for (const auto* party : hybrid_parties) {
+          layer.push_back(party->value_history()[i]);
+        }
+        result.iteration_diameters.push_back(geo::diameter(layer));
+      }
+    }
+  }
+
+  result.verdict = check_d_aa(outputs, expected, honest_inputs, p.eps);
+  return result;
+}
+
+}  // namespace hydra::harness

@@ -1,0 +1,104 @@
+// Single-run driver: build a simulation from a declarative RunSpec (protocol
+// parameters, workload, network condition, adversary), execute it, and
+// return oracle verdicts plus metrics. Every experiment binary is a loop
+// over RunSpecs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/oracles.hpp"
+#include "harness/workloads.hpp"
+#include "protocols/params.hpp"
+
+namespace hydra::harness {
+
+/// Network condition under which the run executes. "Sync" variants respect
+/// the Delta bound; "Async" variants violate it (legal only when judging
+/// against the ta threshold).
+enum class Network {
+  kSyncWorstCase,   ///< every message takes exactly Delta
+  kSyncJitter,      ///< uniform in [1, Delta]
+  kSyncTargeted,    ///< one victim always at Delta, others jittered
+  kSyncRushing,     ///< corrupted senders fast, honest at Delta
+  kAsyncReorder,    ///< heavy-tailed reordering beyond Delta
+  kAsyncPartition,  ///< a group cut off for a long window
+  kAsyncExponential ///< exponential delays with mean ~2 Delta
+};
+
+[[nodiscard]] std::string to_string(Network network);
+[[nodiscard]] bool is_synchronous(Network network);
+
+/// Inverse of to_string; nullopt on unknown names.
+[[nodiscard]] std::optional<Network> parse_network(std::string_view name);
+
+/// Byzantine behaviour assigned to the corrupted slots.
+enum class Adversary {
+  kNone,
+  kSilent,
+  kCrash,        ///< honest protocol, dies mid-run
+  kEquivocator,
+  kOutlier,      ///< honest protocol with an extreme input
+  kHaltRusher,
+  kSpammer,
+  kStraggler,    ///< relays RBC only
+  kTurncoat,     ///< honest protocol until mid-run, then equivocation burst
+  kMixed,        ///< cycles through the list above per corrupted slot
+};
+
+[[nodiscard]] std::string to_string(Adversary adversary);
+[[nodiscard]] std::optional<Adversary> parse_adversary(std::string_view name);
+
+/// Which protocol runs in the honest slots.
+enum class Protocol {
+  kHybrid,        ///< the paper's ΠAA
+  kSyncLockstep,  ///< Vaidya-Garg-style baseline (t = ts)
+  kAsyncMh,       ///< Mendes-Herlihy-style baseline (t = ts = ta)
+};
+
+[[nodiscard]] std::string to_string(Protocol protocol);
+[[nodiscard]] std::optional<Protocol> parse_protocol(std::string_view name);
+
+struct RunSpec {
+  protocols::Params params;
+  Protocol protocol = Protocol::kHybrid;
+  Workload workload = Workload::kUniformBall;
+  double workload_scale = 10.0;
+  Network network = Network::kSyncWorstCase;
+  Adversary adversary = Adversary::kNone;
+  std::size_t corruptions = 0;  ///< number of corrupted slots (ids 0..c-1)
+  std::uint64_t seed = 1;
+  Time max_time = 500'000'000;
+};
+
+struct RunResult {
+  Verdict verdict;
+  double input_diameter = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  Time end_time = 0;
+  bool hit_limit = false;
+  /// Virtual duration in units of Delta.
+  double rounds = 0.0;
+  /// Smallest / largest honest Πinit estimate (hybrid / async-mh only).
+  std::uint64_t min_estimate = 0;
+  std::uint64_t max_estimate = 0;
+  /// Largest honest output iteration it_h.
+  std::uint32_t max_output_iteration = 0;
+  /// Honest per-iteration value diameters (index i = diameter of {v_i});
+  /// truncated at the shortest honest history.
+  std::vector<double> iteration_diameters;
+  /// Safe-area numerical fallbacks triggered during this run (see
+  /// protocols::safe_area_fallback_count) — nonzero values flag geometry
+  /// edge cases worth investigating.
+  std::uint64_t safe_area_fallbacks = 0;
+  /// Messages sent by the busiest single party.
+  std::uint64_t max_sent_by_party = 0;
+};
+
+/// Executes one run on the discrete-event simulator.
+[[nodiscard]] RunResult execute(const RunSpec& spec);
+
+}  // namespace hydra::harness

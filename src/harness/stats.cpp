@@ -1,0 +1,46 @@
+#include "harness/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace hydra::harness {
+
+double Stats::mean() const {
+  HYDRA_ASSERT(!samples_.empty());
+  double sum = 0.0;
+  for (const double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Stats::min() const {
+  HYDRA_ASSERT(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Stats::max() const {
+  HYDRA_ASSERT(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Stats::stddev() const {
+  HYDRA_ASSERT(!samples_.empty());
+  const double m = mean();
+  double acc = 0.0;
+  for (const double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double Stats::percentile(double p) const {
+  HYDRA_ASSERT(!samples_.empty());
+  HYDRA_ASSERT(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  if (p <= 0.0) return sorted.front();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+}  // namespace hydra::harness

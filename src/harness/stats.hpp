@@ -1,0 +1,29 @@
+// Small descriptive-statistics accumulator for seed sweeps.
+#pragma once
+
+#include <vector>
+
+namespace hydra::harness {
+
+/// Collects samples and reports mean / min / max / percentiles. Percentile
+/// uses the nearest-rank method on the sorted samples.
+class Stats {
+ public:
+  void add(double sample) { samples_.push_back(sample); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double stddev() const;
+
+  /// p in [0, 100]; nearest-rank. Asserts on an empty accumulator.
+  [[nodiscard]] double percentile(double p) const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace hydra::harness

@@ -1,0 +1,65 @@
+#include "harness/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace hydra::harness {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::row(std::vector<std::string> cells) {
+  HYDRA_ASSERT(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::string out;
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out += "  ";
+      out += cells[c];
+      out.append(widths[c] - cells[c].size(), ' ');
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+
+  emit_row(headers_);
+  std::string underline;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c != 0) underline += "  ";
+    underline.append(widths[c], '-');
+  }
+  out += underline + '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+void Table::print() const { std::fputs(render().c_str(), stdout); }
+
+std::string fmt(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4g", value);
+  return buf;
+}
+
+std::string fmt(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::string fmt_ok(bool ok) { return ok ? "yes" : "NO"; }
+
+}  // namespace hydra::harness

@@ -1,0 +1,35 @@
+// Column-aligned plain-text tables for the experiment binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hydra::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds one row; the cell count must match the header count.
+  void row(std::vector<std::string> cells);
+
+  /// Renders with aligned columns, a header underline, and a trailing
+  /// newline.
+  [[nodiscard]] std::string render() const;
+
+  /// Convenience: renders straight to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double compactly ("%.4g" style) for table cells.
+[[nodiscard]] std::string fmt(double value);
+[[nodiscard]] std::string fmt(std::uint64_t value);
+
+/// "yes"/"NO" — violations should jump out of a table.
+[[nodiscard]] std::string fmt_ok(bool ok);
+
+}  // namespace hydra::harness

@@ -1,0 +1,107 @@
+// ΠAA (Section 5): the paper's hybrid D-dimensional Approximate Agreement
+// protocol. Secure for ts corruptions under synchrony and ta <= ts under
+// asynchrony whenever (D + 1) ts + ta < n (Theorem 5.19).
+//
+// Structure:
+//   Πinit   -> (T, v0): iteration estimate + starting value;
+//   loop    -> ΠAA-it via one ΠoBC instance per iteration; the new value is
+//              the safe-area diameter midpoint (aa_iteration.hpp);
+//   halting -> at it == T a party reliably broadcasts (halt, it); a party
+//              outputs v_{it_h} where it_h is the (ts+1)-th smallest halt
+//              iteration received, once ts + 1 halts for earlier iterations
+//              are in — at least one of them honest.
+//
+// An AaParty is a sim::IParty and runs unmodified on the discrete-event
+// simulator and the thread transport.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "geometry/vec.hpp"
+#include "protocols/codec.hpp"
+#include "protocols/init.hpp"
+#include "protocols/obc.hpp"
+#include "protocols/params.hpp"
+#include "protocols/rbc.hpp"
+#include "sim/env.hpp"
+
+namespace hydra::protocols {
+
+class AaParty : public sim::IParty {
+ public:
+  AaParty(Params params, geo::Vec input);
+
+  // IParty
+  void start(Env& env) override;
+  void on_message(Env& env, PartyId from, const Message& msg) override;
+  void on_timer(Env& env, std::uint64_t timer_id) override;
+
+  // Observers -------------------------------------------------------------
+
+  [[nodiscard]] bool has_output() const noexcept { return output_.has_value(); }
+  [[nodiscard]] const geo::Vec& output() const { return *output_; }
+
+  /// T as estimated by Πinit (0 until Πinit completes).
+  [[nodiscard]] std::uint64_t estimate() const noexcept { return big_t_; }
+
+  /// v0, v1, ... — the value after each completed iteration (v0 at index 0).
+  [[nodiscard]] const std::vector<geo::Vec>& value_history() const noexcept {
+    return values_;
+  }
+
+  /// Local completion time of each history entry: times()[0] is when Πinit
+  /// output, times()[i] when iteration i's value was adopted. Used by the
+  /// synchronization tests (Lemma 5.20) and the complexity bench.
+  [[nodiscard]] const std::vector<Time>& value_times() const noexcept {
+    return value_times_;
+  }
+
+  /// The iteration it_h whose value was output (0 until output).
+  [[nodiscard]] std::uint32_t output_iteration() const noexcept { return output_iter_; }
+
+  /// Local time at which the output was produced.
+  [[nodiscard]] Time output_time() const noexcept { return output_time_; }
+
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+  [[nodiscard]] const geo::Vec& input() const noexcept { return input_; }
+
+ private:
+  void on_rbc_deliver(Env& env, const InstanceKey& key, const Bytes& payload);
+  void on_init_output(Env& env, const InitInstance::Output& out);
+  void on_obc_output(Env& env, std::uint32_t iteration, const PairList& m);
+
+  /// Evaluates the ΠAA main-loop guards (lines 5-11).
+  void advance(Env& env);
+
+  ObcInstance& obc(std::uint32_t iteration);
+
+  /// Sanity bound on iteration coordinates accepted from the network; honest
+  /// parties never get remotely close, and it stops a Byzantine flood of
+  /// far-future instance keys from exhausting memory.
+  static constexpr std::uint32_t kMaxIteration = 1u << 20;
+
+  Params params_;
+  geo::Vec input_;
+
+  RbcMux mux_;
+  InitInstance init_;
+  std::map<std::uint32_t, ObcInstance> obcs_;
+
+  // Main-loop state.
+  std::uint64_t big_t_ = 0;                     // T from Πinit
+  std::uint32_t it_ = 0;                        // current iteration, 0 = in Πinit
+  Time iter_start_ = 0;
+  std::vector<geo::Vec> values_;                // v_0 .. v_it
+  std::vector<Time> value_times_;               // adoption time of each
+  std::map<std::uint32_t, geo::Vec> iter_results_;  // OBC-produced v_it pending
+  std::map<PartyId, std::uint32_t> halts_;      // smallest halt iteration per sender
+  bool sent_halt_ = false;
+
+  std::optional<geo::Vec> output_;
+  std::uint32_t output_iter_ = 0;
+  Time output_time_ = 0;
+};
+
+}  // namespace hydra::protocols

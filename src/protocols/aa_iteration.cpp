@@ -1,0 +1,63 @@
+#include "protocols/aa_iteration.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/assert.hpp"
+#include "common/combinatorics.hpp"
+#include "geometry/convex.hpp"
+#include "geometry/safe_area.hpp"
+
+namespace hydra::protocols {
+namespace {
+
+std::atomic<std::uint64_t> g_fallbacks{0};
+
+}  // namespace
+
+std::uint64_t safe_area_fallback_count() noexcept { return g_fallbacks.load(); }
+
+geo::Vec compute_new_value(const Params& params, const PairList& m) {
+  HYDRA_ASSERT(m.size() >= params.n - params.ts);
+  HYDRA_ASSERT(m.size() <= params.n);
+  const std::size_t k = m.size() - (params.n - params.ts);
+  const std::size_t t = std::max(k, params.ta);
+  const auto values = values_of(m);
+
+  const auto pick = [&params](const geo::SafeArea& sa) {
+    return params.aggregation == Aggregation::kCentroid ? sa.centroid_rule()
+                                                        : sa.midpoint_rule();
+  };
+
+  auto opts = params.safe_opts;
+  const auto sa = geo::SafeArea::compute(values, t, opts);
+  if (auto v = pick(sa)) return *v;
+
+  // Lemma 5.5 says this is unreachable mathematically; numerically the exact
+  // kernel can lose a measure-zero intersection. Retry looser, then take an
+  // LP witness.
+  for (const double tol : {1e-10, 1e-8}) {
+    opts.clip_tol = tol;
+    const auto relaxed = geo::SafeArea::compute(values, t, opts);
+    if (auto v = pick(relaxed)) {
+      g_fallbacks.fetch_add(1);
+      return *v;
+    }
+  }
+
+  std::vector<std::vector<geo::Vec>> hulls;
+  for_each_combination(values.size(), t, [&](const std::vector<std::size_t>& removed) {
+    const auto kept = complement_indices(values.size(), removed);
+    std::vector<geo::Vec> h;
+    h.reserve(kept.size());
+    for (auto i : kept) h.push_back(values[i]);
+    hulls.push_back(std::move(h));
+  });
+  const auto witness = geo::intersection_point(hulls, 1e-9);
+  HYDRA_ASSERT_MSG(witness.has_value(),
+                   "safe area empty despite Lemma 5.5 preconditions");
+  g_fallbacks.fetch_add(1);
+  return *witness;
+}
+
+}  // namespace hydra::protocols

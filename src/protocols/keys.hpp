@@ -1,0 +1,36 @@
+// Instance-key tags: the "identification numbers" (Section 2) that route
+// messages to sub-protocol instances.
+//
+// Key layout per tag:
+//   kRbcInitValue    a = sender                      (Πinit step 2)
+//   kRbcInitReport   a = sender                      (Πinit step 5)
+//   kInitWitnessSet  direct message, no coordinates  (Πinit step 13)
+//   kRbcObcValue     a = sender, b = iteration       (ΠoBC step 3 inside it)
+//   kObcReport       b = iteration, direct message   (ΠoBC step 6)
+//   kRbcHalt         a = sender, b = iteration       (ΠAA step 7)
+#pragma once
+
+#include <cstdint>
+
+namespace hydra::protocols {
+
+enum Tag : std::uint32_t {
+  kRbcInitValue = 1,
+  kRbcInitReport = 2,
+  kInitWitnessSet = 3,
+  kRbcObcValue = 4,
+  kObcReport = 5,
+  kRbcHalt = 6,
+};
+
+/// Wire `kind` values. Kinds 0..2 belong to the reliable-broadcast layer and
+/// are consumed by RbcMux regardless of tag; kDirect carries upper-layer
+/// point-to-point messages.
+enum MsgKind : std::uint8_t {
+  kRbcSend = 0,
+  kRbcEcho = 1,
+  kRbcReady = 2,
+  kDirect = 3,
+};
+
+}  // namespace hydra::protocols

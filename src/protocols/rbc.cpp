@@ -1,0 +1,88 @@
+#include "protocols/rbc.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace hydra::protocols {
+
+void RbcInstance::broadcast(Env& env, Bytes payload) {
+  HYDRA_ASSERT_MSG(key_.a == env.self(), "only the designated sender may broadcast");
+  Message msg{key_, kRbcSend, std::move(payload)};
+  env.broadcast(msg);
+}
+
+void RbcInstance::send_echo(Env& env, const Bytes& payload) {
+  sent_echo_ = true;
+  env.broadcast(Message{key_, kRbcEcho, payload});
+}
+
+void RbcInstance::send_ready(Env& env, const Bytes& payload) {
+  sent_ready_ = true;
+  env.broadcast(Message{key_, kRbcReady, payload});
+}
+
+bool RbcInstance::on_message(Env& env, PartyId from, const Message& msg) {
+  const std::size_t n = params_.n;
+  const std::size_t t = params_.ts;
+
+  switch (msg.kind) {
+    case kRbcSend: {
+      // Only the designated sender's initial send counts; an authenticated
+      // channel means `from` cannot be forged.
+      if (from != key_.a) return false;
+      if (!sent_echo_) send_echo(env, msg.payload);
+      return false;
+    }
+    case kRbcEcho: {
+      // First echo per voter is binding; equivocating echoes are dropped.
+      if (!echo_voters_.insert(from).second) return false;
+      auto& voters = echoes_[msg.payload];
+      voters.insert(from);
+      if (voters.size() >= n - t && !sent_ready_) send_ready(env, msg.payload);
+      return false;
+    }
+    case kRbcReady: {
+      if (!ready_voters_.insert(from).second) return false;
+      auto& voters = readies_[msg.payload];
+      voters.insert(from);
+      if (voters.size() >= t + 1 && !sent_ready_) send_ready(env, msg.payload);
+      if (voters.size() >= n - t && !delivered_) {
+        delivered_ = true;
+        output_ = msg.payload;
+        return true;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+void RbcMux::broadcast(Env& env, InstanceKey key, Bytes payload) {
+  instance(key).broadcast(env, std::move(payload));
+}
+
+bool RbcMux::handle(Env& env, PartyId from, const Message& msg) {
+  if (msg.kind > kRbcReady) return false;
+  auto& inst = instance(msg.key);
+  if (inst.on_message(env, from, msg)) {
+    on_deliver_(env, inst.key(), inst.output());
+  }
+  return true;
+}
+
+const RbcInstance* RbcMux::find(const InstanceKey& key) const {
+  const auto it = instances_.find(key);
+  return it == instances_.end() ? nullptr : &it->second;
+}
+
+RbcInstance& RbcMux::instance(const InstanceKey& key) {
+  auto it = instances_.find(key);
+  if (it == instances_.end()) {
+    it = instances_.emplace(key, RbcInstance(params_, key)).first;
+  }
+  return it->second;
+}
+
+}  // namespace hydra::protocols

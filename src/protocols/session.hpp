@@ -1,0 +1,128 @@
+// Session multiplexing: run several independent ΠAA instances concurrently
+// over one network.
+//
+// The paper's "identification numbers" (Section 2) extend naturally to
+// parallel protocol sessions: a session id is packed into the high bits of
+// the InstanceKey tag, so every sub-protocol instance of session s is
+// disjoint from every instance of session s'. SessionRouter rewrites keys
+// on the way in/out and hosts one inner party per session — e.g. a
+// federated-learning node agreeing on several model shards at once, or a
+// robot swarm negotiating rendezvous and formation parameters in parallel.
+//
+// Sessions are numbered 0 .. kMaxSessions-1; all parties must create their
+// sessions with the same ids (as with every other protocol parameter).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "common/assert.hpp"
+#include "protocols/aa.hpp"
+#include "protocols/params.hpp"
+#include "sim/env.hpp"
+
+namespace hydra::protocols {
+
+class SessionRouter final : public sim::IParty {
+ public:
+  /// Tags occupy the low bits; sessions the bits above kSessionShift.
+  static constexpr std::uint32_t kSessionShift = 8;
+  static constexpr std::uint32_t kMaxSessions = 1u << 12;
+
+  /// Adds a session hosting ΠAA with the given parameters and input.
+  /// Must be called before the network starts; ids must be dense across
+  /// parties only in the sense that all parties use the same set.
+  void add_session(std::uint32_t session, const Params& params, geo::Vec input) {
+    HYDRA_ASSERT(session < kMaxSessions);
+    const bool inserted =
+        sessions_.emplace(session, std::make_unique<AaParty>(params, std::move(input)))
+            .second;
+    HYDRA_ASSERT_MSG(inserted, "duplicate session id");
+  }
+
+  [[nodiscard]] const AaParty& session(std::uint32_t id) const {
+    const auto it = sessions_.find(id);
+    HYDRA_ASSERT_MSG(it != sessions_.end(), "unknown session id");
+    return *it->second;
+  }
+
+  [[nodiscard]] std::size_t session_count() const noexcept { return sessions_.size(); }
+
+  [[nodiscard]] bool all_output() const {
+    for (const auto& [id, party] : sessions_) {
+      if (!party->has_output()) return false;
+    }
+    return !sessions_.empty();
+  }
+
+  // IParty ----------------------------------------------------------------
+
+  void start(sim::Env& env) override {
+    for (auto& [id, party] : sessions_) {
+      SessionEnv senv(this, &env, id);
+      party->start(senv);
+    }
+  }
+
+  void on_message(sim::Env& env, PartyId from, const sim::Message& msg) override {
+    const std::uint32_t session = msg.key.tag >> kSessionShift;
+    const auto it = sessions_.find(session);
+    if (it == sessions_.end()) return;  // unknown session: drop
+    sim::Message inner = msg;
+    inner.key.tag &= (1u << kSessionShift) - 1;
+    SessionEnv senv(this, &env, session);
+    it->second->on_message(senv, from, inner);
+  }
+
+  void on_timer(sim::Env& env, std::uint64_t timer_id) override {
+    // Timer ids carry the session in their high bits (set by SessionEnv).
+    const auto session = static_cast<std::uint32_t>(timer_id >> 32);
+    const auto it = sessions_.find(session);
+    if (it == sessions_.end()) return;
+    SessionEnv senv(this, &env, session);
+    it->second->on_timer(senv, timer_id & 0xFFFFFFFFull);
+  }
+
+ private:
+  /// Env wrapper that stamps the session into outgoing keys and timer ids.
+  class SessionEnv final : public sim::Env {
+   public:
+    SessionEnv(SessionRouter* router, sim::Env* inner, std::uint32_t session)
+        : router_(router), inner_(inner), session_(session) {}
+
+    void send(PartyId to, sim::Message msg) override {
+      stamp(msg);
+      inner_->send(to, std::move(msg));
+    }
+
+    void broadcast(const sim::Message& msg) override {
+      sim::Message stamped = msg;
+      stamp(stamped);
+      inner_->broadcast(stamped);
+    }
+
+    void set_timer(Time at, std::uint64_t timer_id) override {
+      HYDRA_ASSERT(timer_id < (1ull << 32));
+      inner_->set_timer(at, (static_cast<std::uint64_t>(session_) << 32) | timer_id);
+    }
+
+    [[nodiscard]] Time now() const override { return inner_->now(); }
+    [[nodiscard]] PartyId self() const override { return inner_->self(); }
+    [[nodiscard]] std::size_t n() const override { return inner_->n(); }
+
+   private:
+    void stamp(sim::Message& msg) const {
+      HYDRA_ASSERT_MSG(msg.key.tag < (1u << kSessionShift),
+                       "inner protocol tag exceeds the session shift");
+      msg.key.tag |= session_ << kSessionShift;
+    }
+
+    [[maybe_unused]] SessionRouter* router_;
+    sim::Env* inner_;
+    std::uint32_t session_;
+  };
+
+  std::map<std::uint32_t, std::unique_ptr<AaParty>> sessions_;
+};
+
+}  // namespace hydra::protocols

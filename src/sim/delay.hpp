@@ -1,0 +1,83 @@
+// Message-delay models: where the network adversary lives.
+//
+// A DelayModel sees every message (sender, receiver, current time, content)
+// and decides its delivery delay. Synchronous models must return delays in
+// (0, Delta]; asynchronous models may return anything finite — "delivered
+// eventually". Self-addressed messages are always delivered with zero delay
+// (local processing), bypassing the model.
+//
+// Adversarial schedulers (partitions, targeted reordering, rushing) are
+// decorators in adversary/schedulers.hpp.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/message.hpp"
+
+namespace hydra::sim {
+
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+
+  /// Delay in ticks (>= 1) for a message submitted at `now`.
+  [[nodiscard]] virtual Duration delay(PartyId from, PartyId to, Time now,
+                                       const Message& msg, Rng& rng) = 0;
+};
+
+/// Synchronous network, every message takes exactly Delta (the adversary's
+/// worst case under synchrony).
+class FixedDelay final : public DelayModel {
+ public:
+  explicit FixedDelay(Duration delta) : delta_(delta) {}
+
+  [[nodiscard]] Duration delay(PartyId, PartyId, Time, const Message&, Rng&) override {
+    return delta_;
+  }
+
+ private:
+  Duration delta_;
+};
+
+/// Synchronous network with per-message jitter uniform in [min, max], where
+/// max must be <= Delta for the run to qualify as synchronous.
+class UniformDelay final : public DelayModel {
+ public:
+  UniformDelay(Duration min, Duration max) : min_(min), max_(max) {
+    HYDRA_ASSERT(min >= 1 && min <= max);
+  }
+
+  [[nodiscard]] Duration delay(PartyId, PartyId, Time, const Message&, Rng& rng) override {
+    return rng.next_int(min_, max_);
+  }
+
+ private:
+  Duration min_;
+  Duration max_;
+};
+
+/// Asynchronous network: exponential delays with the given mean, truncated at
+/// `cap` so every message is delivered eventually within the simulation
+/// horizon. Routinely exceeds any presumed Delta.
+class ExponentialDelay final : public DelayModel {
+ public:
+  ExponentialDelay(double mean_ticks, Duration cap)
+      : mean_(mean_ticks), cap_(cap) {
+    HYDRA_ASSERT(mean_ticks >= 1.0 && cap >= 1);
+  }
+
+  [[nodiscard]] Duration delay(PartyId, PartyId, Time, const Message&, Rng& rng) override {
+    const auto d = static_cast<Duration>(rng.next_exponential(mean_));
+    return std::min(std::max<Duration>(1, d), cap_);
+  }
+
+ private:
+  double mean_;
+  Duration cap_;
+};
+
+}  // namespace hydra::sim

@@ -1,0 +1,57 @@
+// The environment interface protocols are written against.
+//
+// Everything a protocol party may do — send, set timers, read its local
+// clock — goes through Env. The same protocol objects therefore run
+// unchanged on the discrete-event simulator (sim/simulation.hpp) and on the
+// real-thread transport (transport/thread_net.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "sim/message.hpp"
+
+namespace hydra::sim {
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Point-to-point authenticated send.
+  virtual void send(PartyId to, Message msg) = 0;
+
+  /// Best-effort broadcast: unicast to every party, including self
+  /// (the paper's "send to all the parties").
+  virtual void broadcast(const Message& msg) = 0;
+
+  /// Requests an on_timer(timer_id) callback at absolute local time `at`
+  /// (fires immediately-ish if `at` is already past). Timers are local-clock
+  /// facilities and fire on schedule even in asynchronous networks.
+  virtual void set_timer(Time at, std::uint64_t timer_id) = 0;
+
+  /// Local clock.
+  [[nodiscard]] virtual Time now() const = 0;
+
+  [[nodiscard]] virtual PartyId self() const = 0;
+
+  /// Total number of parties n.
+  [[nodiscard]] virtual std::size_t n() const = 0;
+};
+
+/// A party is an event-driven state machine. Handlers must not block; they
+/// react to events and (re-)evaluate their guards.
+class IParty {
+ public:
+  virtual ~IParty() = default;
+
+  /// Called once at protocol start (local time 0).
+  virtual void start(Env& env) = 0;
+
+  /// A message arrived on the authenticated channel from `from`.
+  virtual void on_message(Env& env, PartyId from, const Message& msg) = 0;
+
+  /// A timer requested via Env::set_timer fired.
+  virtual void on_timer(Env& env, std::uint64_t timer_id) = 0;
+};
+
+}  // namespace hydra::sim

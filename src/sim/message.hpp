@@ -1,0 +1,31 @@
+// The wire unit exchanged between parties.
+//
+// `key` carries the sub-protocol instance identification (Section 2 of the
+// paper: "messages are provided with identification numbers"); `kind` is a
+// layer-defined discriminator (e.g. Bracha's send/echo/ready); `payload` is
+// an opaque byte vector serialized by the emitting layer.
+//
+// The sender identity is NOT part of the message: the network attaches it at
+// delivery, which is what an authenticated channel provides — a Byzantine
+// party can put arbitrary bytes in `payload` but cannot forge `from`.
+#pragma once
+
+#include <cstdint>
+
+#include "common/serialize.hpp"
+#include "common/types.hpp"
+
+namespace hydra::sim {
+
+struct Message {
+  InstanceKey key;
+  std::uint8_t kind = 0;
+  Bytes payload;
+
+  [[nodiscard]] std::size_t wire_size() const noexcept {
+    // 12 bytes of key + 1 byte kind + 4-byte length prefix + payload.
+    return 12 + 1 + 4 + payload.size();
+  }
+};
+
+}  // namespace hydra::sim

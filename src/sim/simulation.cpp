@@ -1,0 +1,107 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace hydra::sim {
+
+/// Per-party view of the simulation; implements the Env the protocol sees.
+class Simulation::PartyEnv final : public Env {
+ public:
+  PartyEnv(Simulation* sim, PartyId id) : sim_(sim), id_(id) {}
+
+  void send(PartyId to, Message msg) override {
+    HYDRA_ASSERT(to < sim_->parties_.size());
+    sim_->deliver(id_, to, std::move(msg));
+  }
+
+  void broadcast(const Message& msg) override {
+    for (PartyId to = 0; to < sim_->parties_.size(); ++to) {
+      sim_->deliver(id_, to, msg);
+    }
+  }
+
+  void set_timer(Time at, std::uint64_t timer_id) override {
+    Simulation* sim = sim_;
+    const PartyId id = id_;
+    sim_->schedule(std::max(at, sim_->now_), [sim, id, timer_id] {
+      sim->parties_[id]->on_timer(*sim->envs_[id], timer_id);
+    });
+  }
+
+  [[nodiscard]] Time now() const override { return sim_->now_; }
+  [[nodiscard]] PartyId self() const override { return id_; }
+  [[nodiscard]] std::size_t n() const override { return sim_->parties_.size(); }
+
+ private:
+  Simulation* sim_;
+  PartyId id_;
+};
+
+Simulation::Simulation(SimConfig config, std::unique_ptr<DelayModel> delay_model)
+    : config_(config), delay_model_(std::move(delay_model)), rng_(config.seed) {
+  HYDRA_ASSERT(delay_model_ != nullptr);
+  HYDRA_ASSERT(config_.n >= 1);
+  stats_.sent_per_party.assign(config_.n, 0);
+}
+
+Simulation::~Simulation() = default;
+
+void Simulation::add_party(std::unique_ptr<IParty> party) {
+  HYDRA_ASSERT_MSG(parties_.size() < config_.n, "more parties than config.n");
+  const auto id = static_cast<PartyId>(parties_.size());
+  parties_.push_back(std::move(party));
+  envs_.push_back(std::make_unique<PartyEnv>(this, id));
+}
+
+void Simulation::schedule(Time at, std::function<void()> fn) {
+  schedule_phase(at, Phase::kTimer, std::move(fn));
+}
+
+void Simulation::schedule_phase(Time at, Phase phase, std::function<void()> fn) {
+  queue_.push(Event{at, phase, next_seq_++, std::move(fn)});
+}
+
+void Simulation::deliver(PartyId from, PartyId to, Message msg) {
+  stats_.messages += 1;
+  stats_.bytes += msg.wire_size();
+  stats_.sent_per_party[from] += 1;
+  // Self-delivery is local computation, not network traffic: zero delay (but
+  // still queued, so handlers never re-enter).
+  const Duration d =
+      from == to ? 0 : delay_model_->delay(from, to, now_, msg, rng_);
+  HYDRA_ASSERT(from == to || d >= 1);
+  Simulation* sim = this;
+  schedule_phase(now_ + d, Phase::kMessage, [sim, from, to, msg = std::move(msg)] {
+    sim->parties_[to]->on_message(*sim->envs_[to], from, msg);
+  });
+}
+
+SimStats Simulation::run() {
+  HYDRA_ASSERT_MSG(parties_.size() == config_.n, "add exactly n parties before run()");
+  // All parties start simultaneously at local time 0.
+  for (PartyId id = 0; id < parties_.size(); ++id) {
+    Simulation* sim = this;
+    schedule_phase(0, Phase::kMessage, [sim, id] { sim->parties_[id]->start(*sim->envs_[id]); });
+  }
+
+  while (!queue_.empty()) {
+    if (stats_.events >= config_.max_events || queue_.top().at > config_.max_time) {
+      stats_.hit_limit = true;
+      break;
+    }
+    Event ev = queue_.top();
+    queue_.pop();
+    HYDRA_ASSERT(ev.at >= now_);
+    now_ = ev.at;
+    stats_.events += 1;
+    ev.fn();
+  }
+
+  stats_.end_time = now_;
+  return stats_;
+}
+
+}  // namespace hydra::sim

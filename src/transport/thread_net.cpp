@@ -1,0 +1,233 @@
+#include "transport/thread_net.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace hydra::transport {
+
+using Clock = std::chrono::steady_clock;
+
+/// Thread-safe priority mailbox ordered by delivery tick.
+class ThreadNetwork::Mailbox {
+ public:
+  struct Item {
+    Time due;
+    std::uint64_t seq;
+    PartyId from;
+    sim::Message msg;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const noexcept {
+      if (a.due != b.due) return a.due > b.due;
+      return a.seq > b.seq;
+    }
+  };
+
+  void push(Item item) {
+    {
+      const std::lock_guard lock(mutex_);
+      queue_.push(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  void close() {
+    {
+      const std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until an item is due (relative to `now_ticks()`), the given
+  /// wall-clock deadline passes, or the mailbox closes. Returns the due item
+  /// if any.
+  template <typename NowFn, typename DeadlineFn>
+  std::optional<Item> pop_due(NowFn&& now_ticks, DeadlineFn&& tick_deadline,
+                              Time local_deadline) {
+    std::unique_lock lock(mutex_);
+    while (true) {
+      if (closed_) return std::nullopt;
+      const Time now = now_ticks();
+      if (!queue_.empty() && queue_.top().due <= now) {
+        Item item = queue_.top();
+        queue_.pop();
+        return item;
+      }
+      // Sleep until the earliest of: next queued item, the caller's timer
+      // deadline. New pushes wake us early.
+      Time wake = local_deadline;
+      if (!queue_.empty()) wake = std::min(wake, queue_.top().due);
+      if (wake == kTimeInfinity) {
+        cv_.wait(lock);
+      } else {
+        if (cv_.wait_until(lock, tick_deadline(wake)) == std::cv_status::timeout) {
+          // Timer (or queued item) is now due; let the caller dispatch.
+          if (queue_.empty() || queue_.top().due > now_ticks()) return std::nullopt;
+        }
+      }
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  bool closed_ = false;
+};
+
+/// The per-party Env implementation; used only from the party's own thread.
+class ThreadNetwork::ThreadEnv final : public sim::Env {
+ public:
+  ThreadEnv(ThreadNetwork* net, PartyId id) : net_(net), id_(id) {}
+
+  void send(PartyId to, sim::Message msg) override { net_->post(id_, to, std::move(msg)); }
+
+  void broadcast(const sim::Message& msg) override {
+    for (PartyId to = 0; to < net_->config_.n; ++to) net_->post(id_, to, msg);
+  }
+
+  void set_timer(Time at, std::uint64_t timer_id) override {
+    timers_.emplace(at, timer_id);
+  }
+
+  [[nodiscard]] Time now() const override { return net_->now_ticks(); }
+  [[nodiscard]] PartyId self() const override { return id_; }
+  [[nodiscard]] std::size_t n() const override { return net_->config_.n; }
+
+  /// Earliest pending timer deadline (kTimeInfinity if none).
+  [[nodiscard]] Time next_timer() const {
+    return timers_.empty() ? kTimeInfinity : timers_.top().first;
+  }
+
+  /// Pops one due timer id, if any.
+  std::optional<std::uint64_t> pop_due_timer(Time now) {
+    if (timers_.empty() || timers_.top().first > now) return std::nullopt;
+    const auto id = timers_.top().second;
+    timers_.pop();
+    return id;
+  }
+
+ private:
+  using TimerEntry = std::pair<Time, std::uint64_t>;
+  ThreadNetwork* net_;
+  PartyId id_;
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>, std::greater<>> timers_;
+};
+
+ThreadNetwork::ThreadNetwork(ThreadNetConfig config,
+                             std::unique_ptr<sim::DelayModel> delay_model)
+    : config_(config), delay_model_(std::move(delay_model)), delay_rng_(config.seed) {
+  HYDRA_ASSERT(delay_model_ != nullptr);
+  HYDRA_ASSERT(config_.n >= 1);
+  HYDRA_ASSERT(config_.us_per_tick > 0.0);
+  mailboxes_.reserve(config_.n);
+  for (std::size_t i = 0; i < config_.n; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+ThreadNetwork::~ThreadNetwork() = default;
+
+Time ThreadNetwork::now_ticks() const {
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      Clock::now() - epoch_)
+                      .count();
+  return static_cast<Time>(static_cast<double>(us) / config_.us_per_tick);
+}
+
+Clock::time_point ThreadNetwork::tick_deadline(Time at) const {
+  return epoch_ + std::chrono::microseconds(
+                      static_cast<std::int64_t>(static_cast<double>(at) *
+                                                config_.us_per_tick) +
+                      1);
+}
+
+void ThreadNetwork::post(PartyId from, PartyId to, sim::Message msg) {
+  HYDRA_ASSERT(to < config_.n);
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(msg.wire_size(), std::memory_order_relaxed);
+  static std::atomic<std::uint64_t> seq{0};
+  Duration d = 0;
+  if (from != to) {
+    const std::lock_guard lock(delay_mutex_);
+    d = delay_model_->delay(from, to, now_ticks(), msg, delay_rng_);
+  }
+  mailboxes_[to]->push(Mailbox::Item{now_ticks() + d,
+                                     seq.fetch_add(1, std::memory_order_relaxed), from,
+                                     std::move(msg)});
+}
+
+ThreadNetStats ThreadNetwork::run(
+    std::vector<std::unique_ptr<sim::IParty>>& parties,
+    const std::function<bool(const sim::IParty&, PartyId)>& finished) {
+  HYDRA_ASSERT(parties.size() == config_.n);
+  epoch_ = Clock::now();
+
+  std::atomic<std::size_t> done_count{0};
+  std::atomic<bool> stop{false};
+
+  auto worker = [&](PartyId id) {
+    ThreadEnv env(this, id);
+    sim::IParty& party = *parties[id];
+    party.start(env);
+    bool done = finished(party, id);
+    if (done) done_count.fetch_add(1);
+
+    while (!stop.load(std::memory_order_acquire)) {
+      const Time timer_at = env.next_timer();
+      auto item = mailboxes_[id]->pop_due([this] { return now_ticks(); },
+                                          [this](Time at) { return tick_deadline(at); },
+                                          timer_at);
+      if (stop.load(std::memory_order_acquire)) break;
+      if (item) {
+        party.on_message(env, item->from, item->msg);
+      }
+      // Fire all due timers.
+      const Time now = now_ticks();
+      while (auto timer_id = env.pop_due_timer(now)) {
+        party.on_timer(env, *timer_id);
+      }
+      if (!done && finished(party, id)) {
+        done = true;
+        done_count.fetch_add(1);
+      }
+      // A finished party keeps processing traffic (it must keep relaying
+      // ΠrBC echoes for the others) until the network shuts down.
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(config_.n);
+  for (PartyId id = 0; id < config_.n; ++id) threads.emplace_back(worker, id);
+
+  const auto deadline = Clock::now() + std::chrono::milliseconds(config_.timeout_ms);
+  bool timed_out = false;
+  while (done_count.load() < config_.n) {
+    if (Clock::now() >= deadline) {
+      timed_out = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (auto& box : mailboxes_) box->close();
+  for (auto& thread : threads) thread.join();
+
+  ThreadNetStats stats;
+  stats.messages = messages_.load();
+  stats.bytes = bytes_.load();
+  stats.timed_out = timed_out;
+  stats.wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                        epoch_)
+                      .count();
+  return stats;
+}
+
+}  // namespace hydra::transport

@@ -1,0 +1,89 @@
+// Real-thread in-process transport.
+//
+// Runs the same IParty protocol objects as the discrete-event simulator,
+// but on one OS thread per party with real wall-clock time: mailboxes are
+// mutex+condvar priority queues ordered by delivery deadline, timers are
+// per-thread deadline heaps, and a tick maps to a configurable number of
+// microseconds. A DelayModel (the same interface the simulator uses) shapes
+// artificial network latency, so synchronous and asynchronous conditions
+// can be reproduced under genuine concurrency.
+//
+// Threading contract: a party's handlers run exclusively on its own thread;
+// cross-thread interaction is only mailbox push/pop. Party state may be
+// inspected from the outside ONLY after run() returned (threads joined).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <optional>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/delay.hpp"
+#include "sim/env.hpp"
+#include "sim/message.hpp"
+
+namespace hydra::transport {
+
+struct ThreadNetConfig {
+  std::size_t n = 4;
+  Duration delta = 1000;       ///< Delta in ticks (same unit as protocol Params)
+  double us_per_tick = 1.0;    ///< wall-clock microseconds per tick
+  std::uint64_t seed = 1;      ///< seeds the per-sender delay RNGs
+  std::int64_t timeout_ms = 30'000;  ///< wall-clock run cap
+};
+
+struct ThreadNetStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  bool timed_out = false;
+  std::int64_t wall_ms = 0;
+};
+
+class ThreadNetwork {
+ public:
+  /// `delay_model` is shared by all senders and called under a lock.
+  ThreadNetwork(ThreadNetConfig config, std::unique_ptr<sim::DelayModel> delay_model);
+  ~ThreadNetwork();
+
+  ThreadNetwork(const ThreadNetwork&) = delete;
+  ThreadNetwork& operator=(const ThreadNetwork&) = delete;
+
+  /// Runs the parties until `finished(party, id)` is true for every party or
+  /// the timeout elapses. `finished` is evaluated on each party's own thread
+  /// after every handled event (so it may touch party state safely).
+  /// The parties are borrowed: the caller keeps ownership and may inspect
+  /// them after run() returns (all threads are joined by then).
+  ThreadNetStats run(std::vector<std::unique_ptr<sim::IParty>>& parties,
+                     const std::function<bool(const sim::IParty&, PartyId)>& finished);
+
+ private:
+  class Mailbox;
+  class ThreadEnv;
+  friend class ThreadEnv;
+
+  void post(PartyId from, PartyId to, sim::Message msg);
+
+  ThreadNetConfig config_;
+  std::unique_ptr<sim::DelayModel> delay_model_;
+  std::mutex delay_mutex_;
+  Rng delay_rng_;
+
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+
+  [[nodiscard]] Time now_ticks() const;
+  [[nodiscard]] std::chrono::steady_clock::time_point tick_deadline(Time at) const;
+};
+
+}  // namespace hydra::transport

@@ -1,0 +1,322 @@
+// End-to-end tests for ΠAA (Theorem 5.19): validity, epsilon-agreement and
+// liveness across network modes, Byzantine behaviours, dimensions and
+// thresholds.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "geometry/convex.hpp"
+#include "protocol_test_util.hpp"
+
+namespace hydra::test {
+namespace {
+
+Params make_params(std::size_t n, std::size_t ts, std::size_t ta, std::size_t dim,
+                   double eps = 1e-2) {
+  Params p;
+  p.n = n;
+  p.ts = ts;
+  p.ta = ta;
+  p.dim = dim;
+  p.eps = eps;
+  p.delta = 1000;
+  return p;
+}
+
+std::vector<geo::Vec> spread_inputs(std::size_t n, std::size_t dim, double scale = 5.0) {
+  Rng rng(n * 1000 + dim);
+  std::vector<geo::Vec> inputs;
+  for (std::size_t i = 0; i < n; ++i) {
+    geo::Vec v(dim, 0.0);
+    for (std::size_t d = 0; d < dim; ++d) v[d] = rng.next_double(-scale, scale);
+    inputs.push_back(std::move(v));
+  }
+  return inputs;
+}
+
+void expect_d_aa(const AaRun& run, const std::vector<geo::Vec>& honest_inputs,
+                 double eps, const char* label) {
+  // Liveness.
+  ASSERT_TRUE(run.all_output()) << label;
+  const auto outputs = run.outputs();
+  // Validity: every output inside the honest inputs' convex hull.
+  for (const auto& v : outputs) {
+    EXPECT_TRUE(geo::in_convex_hull(honest_inputs, v, 1e-5)) << label;
+  }
+  // eps-Agreement.
+  EXPECT_LE(geo::diameter(outputs), eps + 1e-9) << label;
+}
+
+TEST(Aa, AllHonestSynchronous) {
+  const auto params = make_params(4, 1, 0, 2);
+  AaRunConfig cfg{.params = params, .inputs = spread_inputs(4, 2)};
+  auto run = run_aa(std::move(cfg));
+  expect_d_aa(run, run.honest_inputs(), params.eps, "all-honest sync");
+  EXPECT_FALSE(run.stats.hit_limit);
+}
+
+TEST(Aa, AllHonestIdenticalInputs) {
+  // Degenerate spread: parties already agree; T clamps to 1 and the output
+  // must equal the common input.
+  const auto params = make_params(4, 1, 0, 2);
+  std::vector<geo::Vec> inputs(4, geo::Vec{3.0, -1.0});
+  AaRunConfig cfg{.params = params, .inputs = inputs};
+  auto run = run_aa(std::move(cfg));
+  ASSERT_TRUE(run.all_output());
+  for (const auto& v : run.outputs()) {
+    EXPECT_TRUE(geo::approx_equal(v, geo::Vec{3.0, -1.0}, 1e-9));
+  }
+}
+
+TEST(Aa, SilentCorruptionSynchronous) {
+  const auto params = make_params(4, 1, 0, 2);
+  auto inputs = spread_inputs(4, 2);
+  AaRunConfig cfg{.params = params, .inputs = inputs};
+  cfg.byzantine[0] = [](const Params&, const geo::Vec&) {
+    return std::make_unique<adversary::SilentParty>();
+  };
+  auto run = run_aa(std::move(cfg));
+  expect_d_aa(run, run.honest_inputs(), params.eps, "silent sync");
+}
+
+TEST(Aa, OutlierInputCannotViolateValidity) {
+  // The Byzantine party follows the protocol with an extreme input; honest
+  // outputs must stay within the hull of HONEST inputs only.
+  const auto params = make_params(4, 1, 0, 2);
+  auto inputs = spread_inputs(4, 2);
+  inputs[0] = geo::Vec{1e6, -1e6};
+  AaRunConfig cfg{.params = params, .inputs = inputs};
+  cfg.byzantine[0] = [](const Params& p, const geo::Vec& input) {
+    return std::make_unique<protocols::AaParty>(p, input);  // honest code, evil input
+  };
+  auto run = run_aa(std::move(cfg));
+  expect_d_aa(run, run.honest_inputs(), params.eps, "outlier");
+}
+
+TEST(Aa, EquivocatorSynchronous) {
+  const auto params = make_params(4, 1, 0, 2);
+  auto inputs = spread_inputs(4, 2);
+  AaRunConfig cfg{.params = params, .inputs = inputs, .seed = 7};
+  cfg.byzantine[2] = [](const Params& p, const geo::Vec&) {
+    return std::make_unique<adversary::EquivocatorParty>(p, geo::Vec{50.0, -50.0}, 3.0);
+  };
+  cfg.delay = [](const Params& p) {
+    return std::make_unique<sim::UniformDelay>(1, p.delta);
+  };
+  auto run = run_aa(std::move(cfg));
+  expect_d_aa(run, run.honest_inputs(), params.eps, "equivocator");
+}
+
+TEST(Aa, HaltRusherCannotForcePrematureDisagreement) {
+  const auto params = make_params(4, 1, 0, 2);
+  auto inputs = spread_inputs(4, 2, 50.0);
+  AaRunConfig cfg{.params = params, .inputs = inputs, .seed = 3};
+  cfg.byzantine[1] = [](const Params& p, const geo::Vec&) {
+    return std::make_unique<adversary::HaltRusherParty>(p, geo::Vec{0.0, 0.0});
+  };
+  auto run = run_aa(std::move(cfg));
+  expect_d_aa(run, run.honest_inputs(), params.eps, "halt rusher");
+}
+
+TEST(Aa, SpammerRobustness) {
+  const auto params = make_params(4, 1, 0, 2);
+  auto inputs = spread_inputs(4, 2);
+  AaRunConfig cfg{.params = params, .inputs = inputs, .seed = 5};
+  cfg.byzantine[3] = [](const Params& p, const geo::Vec&) {
+    return std::make_unique<adversary::SpammerParty>(p, 77, p.delta / 2,
+                                                     60 * p.delta);
+  };
+  auto run = run_aa(std::move(cfg));
+  expect_d_aa(run, run.honest_inputs(), params.eps, "spammer");
+}
+
+TEST(Aa, CrashMidProtocol) {
+  // An adaptively corrupted party runs honestly and dies mid-run.
+  const auto params = make_params(4, 1, 0, 2);
+  auto inputs = spread_inputs(4, 2);
+  AaRunConfig cfg{.params = params, .inputs = inputs, .seed = 11};
+  cfg.byzantine[2] = [](const Params& p, const geo::Vec& input) {
+    return std::make_unique<adversary::CrashParty>(
+        std::make_unique<protocols::AaParty>(p, input), 12 * p.delta);
+  };
+  auto run = run_aa(std::move(cfg));
+  expect_d_aa(run, run.honest_inputs(), params.eps, "crash");
+}
+
+TEST(Aa, StragglerEchoOnly) {
+  const auto params = make_params(4, 1, 0, 2);
+  auto inputs = spread_inputs(4, 2);
+  AaRunConfig cfg{.params = params, .inputs = inputs, .seed = 13};
+  cfg.byzantine[1] = [](const Params& p, const geo::Vec&) {
+    return std::make_unique<adversary::StragglerEchoParty>(p);
+  };
+  auto run = run_aa(std::move(cfg));
+  expect_d_aa(run, run.honest_inputs(), params.eps, "straggler");
+}
+
+TEST(Aa, AsynchronousWithTaCorruptions) {
+  // Heavy asynchronous reordering with ta = 1 silent corruption.
+  const auto params = make_params(9, 2, 1, 2);
+  auto inputs = spread_inputs(9, 2);
+  AaRunConfig cfg{.params = params, .inputs = inputs, .seed = 17};
+  cfg.byzantine[4] = [](const Params&, const geo::Vec&) {
+    return std::make_unique<adversary::SilentParty>();
+  };
+  cfg.delay = [](const Params& p) {
+    return std::make_unique<adversary::ReorderScheduler>(p.delta, 0.25,
+                                                         12 * p.delta);
+  };
+  auto run = run_aa(std::move(cfg));
+  expect_d_aa(run, run.honest_inputs(), params.eps, "async ta");
+}
+
+TEST(Aa, AsynchronousPartition) {
+  const auto params = make_params(9, 2, 1, 2);
+  auto inputs = spread_inputs(9, 2);
+  AaRunConfig cfg{.params = params, .inputs = inputs, .seed = 19};
+  cfg.delay = [](const Params& p) {
+    return std::make_unique<adversary::PartitionScheduler>(
+        std::make_unique<sim::UniformDelay>(1, p.delta), std::set<PartyId>{0, 1, 2},
+        2 * p.delta, 60 * p.delta);
+  };
+  auto run = run_aa(std::move(cfg));
+  expect_d_aa(run, run.honest_inputs(), params.eps, "async partition");
+}
+
+TEST(Aa, TargetedDelayVictim) {
+  // A legal synchronous adversary keeps one victim at max delay; guarantees
+  // must be unaffected.
+  const auto params = make_params(4, 1, 0, 2);
+  auto inputs = spread_inputs(4, 2);
+  AaRunConfig cfg{.params = params, .inputs = inputs, .seed = 23};
+  cfg.delay = [](const Params& p) {
+    return std::make_unique<adversary::TargetedScheduler>(
+        std::make_unique<sim::UniformDelay>(1, p.delta / 2), std::set<PartyId>{3},
+        p.delta);
+  };
+  auto run = run_aa(std::move(cfg));
+  expect_d_aa(run, run.honest_inputs(), params.eps, "targeted victim");
+}
+
+TEST(Aa, RushingAdversary) {
+  const auto params = make_params(4, 1, 0, 2);
+  auto inputs = spread_inputs(4, 2, 20.0);
+  AaRunConfig cfg{.params = params, .inputs = inputs, .seed = 29};
+  cfg.byzantine[0] = [](const Params& p, const geo::Vec&) {
+    return std::make_unique<adversary::EquivocatorParty>(p, geo::Vec{-30.0, 30.0}, 1.0);
+  };
+  cfg.delay = [](const Params& p) {
+    return std::make_unique<adversary::RushingScheduler>(std::set<PartyId>{0}, 1,
+                                                         p.delta);
+  };
+  auto run = run_aa(std::move(cfg));
+  expect_d_aa(run, run.honest_inputs(), params.eps, "rushing");
+}
+
+TEST(Aa, ConvergencePerIterationRespectsContractionFactor) {
+  // In a perfectly synchronous all-honest run every party computes from the
+  // identical M, so estimates coincide and T = 1; genuine multi-iteration
+  // convergence requires divergent views: under asynchronous reordering,
+  // different (n - ts)-subsets of values arrive first at different parties.
+  const auto params = make_params(5, 1, 1, 2, /*eps=*/1e-1);
+  auto inputs = spread_inputs(5, 2, 100.0);
+  AaRunConfig cfg{.params = params, .inputs = inputs, .seed = 41};
+  cfg.delay = [](const Params& p) {
+    return std::make_unique<adversary::ReorderScheduler>(p.delta, 0.35, 8 * p.delta);
+  };
+  auto run = run_aa(std::move(cfg));
+  ASSERT_TRUE(run.all_output());
+
+  // Reconstruct per-iteration honest diameters from the value histories.
+  std::size_t min_len = SIZE_MAX;
+  for (auto* p : run.honest) min_len = std::min(min_len, p->value_history().size());
+  ASSERT_GE(min_len, 3u);
+  const double factor = std::sqrt(7.0 / 8.0);
+  for (std::size_t it = 1; it < min_len; ++it) {
+    std::vector<geo::Vec> prev;
+    std::vector<geo::Vec> cur;
+    for (auto* p : run.honest) {
+      prev.push_back(p->value_history()[it - 1]);
+      cur.push_back(p->value_history()[it]);
+    }
+    const double d_prev = geo::diameter(prev);
+    const double d_cur = geo::diameter(cur);
+    if (d_prev > 1e-12) {
+      EXPECT_LE(d_cur, factor * d_prev + 1e-9) << "iteration " << it;
+    }
+  }
+}
+
+TEST(Aa, OutputIterationAtLeastSmallestEstimate) {
+  const auto params = make_params(4, 1, 0, 2);
+  auto inputs = spread_inputs(4, 2, 50.0);
+  AaRunConfig cfg{.params = params, .inputs = inputs};
+  auto run = run_aa(std::move(cfg));
+  ASSERT_TRUE(run.all_output());
+  std::uint64_t min_estimate = UINT64_MAX;
+  for (auto* p : run.honest) min_estimate = std::min(min_estimate, p->estimate());
+  for (auto* p : run.honest) {
+    EXPECT_GE(p->output_iteration(), min_estimate);
+  }
+}
+
+// ------------------------------------------------- parameterized sweep
+
+struct SweepParams {
+  std::size_t n;
+  std::size_t ts;
+  std::size_t ta;
+  std::size_t dim;
+  bool synchronous;
+  std::uint64_t seed;
+};
+
+class AaSweep : public ::testing::TestWithParam<SweepParams> {};
+
+TEST_P(AaSweep, DAaHoldsAtFeasibleThresholds) {
+  const auto sp = GetParam();
+  const auto params = make_params(sp.n, sp.ts, sp.ta, sp.dim, 5e-2);
+  ASSERT_TRUE(params.feasible());
+
+  auto inputs = spread_inputs(sp.n, sp.dim);
+  AaRunConfig cfg{.params = params, .inputs = inputs, .seed = sp.seed};
+  // Corrupt the maximum tolerated: ts silent under synchrony, ta silent
+  // under asynchrony.
+  const std::size_t corruptions = sp.synchronous ? sp.ts : sp.ta;
+  for (std::size_t i = 0; i < corruptions; ++i) {
+    cfg.byzantine[static_cast<PartyId>(2 * i)] = [](const Params&, const geo::Vec&) {
+      return std::make_unique<adversary::SilentParty>();
+    };
+  }
+  if (sp.synchronous) {
+    cfg.delay = [](const Params& p) {
+      return std::make_unique<sim::UniformDelay>(1, p.delta);
+    };
+  } else {
+    cfg.delay = [](const Params& p) {
+      return std::make_unique<adversary::ReorderScheduler>(p.delta, 0.25,
+                                                           10 * p.delta);
+    };
+  }
+  auto run = run_aa(std::move(cfg));
+  expect_d_aa(run, run.honest_inputs(), params.eps, "sweep");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AaSweep,
+    ::testing::Values(
+        SweepParams{4, 1, 0, 1, true, 1}, SweepParams{5, 1, 1, 1, true, 2},
+        SweepParams{5, 1, 1, 1, false, 3}, SweepParams{4, 1, 0, 2, true, 4},
+        SweepParams{5, 1, 1, 2, true, 5}, SweepParams{5, 1, 1, 2, false, 6},
+        SweepParams{8, 2, 1, 2, true, 7}, SweepParams{8, 2, 1, 2, false, 8},
+        SweepParams{5, 1, 0, 3, true, 9}, SweepParams{6, 1, 1, 3, false, 10},
+        SweepParams{6, 1, 0, 4, true, 11}, SweepParams{7, 1, 1, 4, false, 12}),
+    [](const auto& info) {
+      const auto& p = info.param;
+      return "n" + std::to_string(p.n) + "_ts" + std::to_string(p.ts) + "_ta" +
+             std::to_string(p.ta) + "_D" + std::to_string(p.dim) +
+             (p.synchronous ? "_sync" : "_async");
+    });
+
+}  // namespace
+}  // namespace hydra::test

@@ -1,0 +1,174 @@
+// Tests for the adversary framework itself: scheduler delay laws, the
+// Turncoat adaptive corruption, and that each behaviour's attack surface is
+// defeated by the full protocol at the tolerated thresholds.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "geometry/convex.hpp"
+#include "protocol_test_util.hpp"
+
+namespace hydra::test {
+namespace {
+
+sim::Message dummy_msg() { return sim::Message{InstanceKey{1, 0, 0}, 0, {}}; }
+
+// ------------------------------------------------------------ schedulers
+
+TEST(Schedulers, PartitionHoldsCrossTrafficDuringWindow) {
+  Rng rng(1);
+  adversary::PartitionScheduler sched(std::make_unique<sim::FixedDelay>(100),
+                                      std::set<PartyId>{0, 1}, 1000, 5000);
+  const auto msg = dummy_msg();
+  // Before the window: base delay.
+  EXPECT_EQ(sched.delay(0, 2, 500, msg, rng), 100);
+  // Inside the window, crossing the boundary: held until at least the end.
+  EXPECT_GE(sched.delay(0, 2, 2000, msg, rng), 3000);
+  // Inside the window, within the group: base delay.
+  EXPECT_EQ(sched.delay(0, 1, 2000, msg, rng), 100);
+  // After the window: base delay.
+  EXPECT_EQ(sched.delay(0, 2, 6000, msg, rng), 100);
+}
+
+TEST(Schedulers, TargetedAlwaysMaxForVictims) {
+  Rng rng(2);
+  adversary::TargetedScheduler sched(std::make_unique<sim::UniformDelay>(1, 50),
+                                     std::set<PartyId>{3}, 1000);
+  const auto msg = dummy_msg();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(sched.delay(0, 3, 0, msg, rng), 1000);
+    EXPECT_EQ(sched.delay(3, 1, 0, msg, rng), 1000);
+    EXPECT_LE(sched.delay(0, 1, 0, msg, rng), 50);
+  }
+}
+
+TEST(Schedulers, RushingFavorsCorruptedSenders) {
+  Rng rng(3);
+  adversary::RushingScheduler sched(std::set<PartyId>{0}, 1, 500);
+  const auto msg = dummy_msg();
+  EXPECT_EQ(sched.delay(0, 1, 0, msg, rng), 1);
+  EXPECT_EQ(sched.delay(1, 0, 0, msg, rng), 500);
+  EXPECT_EQ(sched.delay(2, 1, 0, msg, rng), 500);
+}
+
+TEST(Schedulers, ReorderProducesHeavyTail) {
+  Rng rng(4);
+  adversary::ReorderScheduler sched(100, 0.3, 1000);
+  const auto msg = dummy_msg();
+  int beyond = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto d = sched.delay(0, 1, 0, msg, rng);
+    EXPECT_GE(d, 1);
+    EXPECT_LE(d, 1000);
+    if (d > 100) ++beyond;
+  }
+  // ~30% should violate the Delta = 100 bound.
+  EXPECT_GT(beyond, 400);
+  EXPECT_LT(beyond, 800);
+}
+
+// -------------------------------------------------------------- turncoat
+
+TEST(Turncoat, ProtocolSurvivesAdaptiveCorruption) {
+  const Params params = [] {
+    Params p;
+    p.n = 5;
+    p.ts = 1;
+    p.ta = 1;
+    p.dim = 2;
+    p.eps = 1e-2;
+    p.delta = 1000;
+    return p;
+  }();
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    AaRunConfig cfg{.params = params,
+                    .inputs = {geo::Vec{0.0, 0.0}, geo::Vec{4.0, 1.0},
+                               geo::Vec{1.0, 5.0}, geo::Vec{-3.0, 2.0},
+                               geo::Vec{2.0, -2.0}},
+                    .seed = seed};
+    // Turns hostile right around the first iterations.
+    cfg.byzantine[2] = [](const Params& p, const geo::Vec& input) {
+      return std::make_unique<adversary::TurncoatParty>(p, input, 9 * p.delta);
+    };
+    cfg.delay = [](const Params& p) {
+      return std::make_unique<sim::UniformDelay>(1, p.delta);
+    };
+    auto run = run_aa(std::move(cfg));
+    ASSERT_TRUE(run.all_output()) << "seed " << seed;
+    const auto outputs = run.outputs();
+    EXPECT_LE(geo::diameter(outputs), params.eps + 1e-9) << "seed " << seed;
+    for (const auto& v : outputs) {
+      EXPECT_TRUE(geo::in_convex_hull(run.honest_inputs(), v, 1e-5))
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(Turncoat, AsynchronousVariant) {
+  Params params;
+  params.n = 8;
+  params.ts = 2;
+  params.ta = 1;
+  params.dim = 2;
+  params.eps = 5e-2;
+  params.delta = 1000;
+  std::vector<geo::Vec> inputs;
+  Rng rng(9);
+  for (int i = 0; i < 8; ++i) {
+    inputs.push_back(geo::Vec{rng.next_double(-5, 5), rng.next_double(-5, 5)});
+  }
+  AaRunConfig cfg{.params = params, .inputs = inputs, .seed = 21};
+  cfg.byzantine[0] = [](const Params& p, const geo::Vec& input) {
+    return std::make_unique<adversary::TurncoatParty>(p, input, 15 * p.delta);
+  };
+  cfg.delay = [](const Params& p) {
+    return std::make_unique<adversary::ReorderScheduler>(p.delta, 0.25, 8 * p.delta);
+  };
+  auto run = run_aa(std::move(cfg));
+  ASSERT_TRUE(run.all_output());
+  EXPECT_LE(geo::diameter(run.outputs()), params.eps + 1e-9);
+  for (const auto& v : run.outputs()) {
+    EXPECT_TRUE(geo::in_convex_hull(run.honest_inputs(), v, 1e-5));
+  }
+}
+
+// ------------------------------------------ two coordinated byzantine mix
+
+TEST(Adversary, TwoCoordinatedAttackersAtThreshold) {
+  // ts = 2: one equivocator + one halt-rusher simultaneously, plus a
+  // rushing network favoring them.
+  Params params;
+  params.n = 8;
+  params.ts = 2;
+  params.ta = 1;
+  params.dim = 2;
+  params.eps = 5e-2;
+  params.delta = 1000;
+  std::vector<geo::Vec> inputs;
+  Rng rng(11);
+  for (int i = 0; i < 8; ++i) {
+    inputs.push_back(geo::Vec{rng.next_double(-8, 8), rng.next_double(-8, 8)});
+  }
+  AaRunConfig cfg{.params = params, .inputs = inputs, .seed = 31};
+  cfg.byzantine[0] = [](const Params& p, const geo::Vec&) {
+    return std::make_unique<adversary::EquivocatorParty>(p, geo::Vec{100.0, -100.0},
+                                                         13.0);
+  };
+  cfg.byzantine[1] = [](const Params& p, const geo::Vec&) {
+    return std::make_unique<adversary::HaltRusherParty>(p, geo::Vec{50.0, 50.0});
+  };
+  cfg.delay = [](const Params& p) {
+    return std::make_unique<adversary::RushingScheduler>(std::set<PartyId>{0, 1}, 1,
+                                                         p.delta);
+  };
+  auto run = run_aa(std::move(cfg));
+  ASSERT_TRUE(run.all_output());
+  EXPECT_LE(geo::diameter(run.outputs()), params.eps + 1e-9);
+  for (const auto& v : run.outputs()) {
+    EXPECT_TRUE(geo::in_convex_hull(run.honest_inputs(), v, 1e-5));
+  }
+}
+
+}  // namespace
+}  // namespace hydra::test

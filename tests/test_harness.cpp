@@ -1,0 +1,255 @@
+// Tests for the experiment harness: oracle edge cases, workload generators,
+// table rendering, and determinism/consistency of the run driver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "harness/oracles.hpp"
+#include "harness/runner.hpp"
+#include "harness/stats.hpp"
+#include "harness/table.hpp"
+#include "harness/workloads.hpp"
+
+namespace hydra::harness {
+namespace {
+
+// --------------------------------------------------------------- oracles
+
+TEST(Oracles, AllGoodVerdict) {
+  const std::vector<geo::Vec> inputs{{0.0, 0.0}, {2.0, 0.0}, {0.0, 2.0}};
+  const std::vector<geo::Vec> outputs{{0.5, 0.5}, {0.5001, 0.5}};
+  const auto v = check_d_aa(outputs, 2, inputs, 1e-2);
+  EXPECT_TRUE(v.live);
+  EXPECT_TRUE(v.valid);
+  EXPECT_TRUE(v.agreed);
+  EXPECT_TRUE(v.d_aa());
+  EXPECT_NEAR(v.output_diameter, 1e-4, 1e-9);
+}
+
+TEST(Oracles, LivenessFailure) {
+  const std::vector<geo::Vec> inputs{{0.0, 0.0}, {2.0, 0.0}};
+  const std::vector<geo::Vec> outputs{{0.5, 0.0}};
+  const auto v = check_d_aa(outputs, 2, inputs, 1e-2);
+  EXPECT_FALSE(v.live);
+  EXPECT_FALSE(v.d_aa());
+}
+
+TEST(Oracles, ValidityFailure) {
+  const std::vector<geo::Vec> inputs{{0.0, 0.0}, {2.0, 0.0}, {0.0, 2.0}};
+  const std::vector<geo::Vec> outputs{{5.0, 5.0}, {5.0, 5.0}};
+  const auto v = check_d_aa(outputs, 2, inputs, 1e-2);
+  EXPECT_TRUE(v.live);
+  EXPECT_FALSE(v.valid);
+  EXPECT_TRUE(v.agreed);
+}
+
+TEST(Oracles, AgreementFailure) {
+  const std::vector<geo::Vec> inputs{{0.0, 0.0}, {2.0, 0.0}, {0.0, 2.0}};
+  const std::vector<geo::Vec> outputs{{0.1, 0.1}, {1.0, 0.5}};
+  const auto v = check_d_aa(outputs, 2, inputs, 1e-2);
+  EXPECT_TRUE(v.live);
+  EXPECT_TRUE(v.valid);
+  EXPECT_FALSE(v.agreed);
+}
+
+TEST(Oracles, EmptyOutputsNotLive) {
+  const std::vector<geo::Vec> inputs{{0.0, 0.0}};
+  const auto v = check_d_aa({}, 0, inputs, 1e-2);
+  EXPECT_FALSE(v.live);
+}
+
+// -------------------------------------------------------------- workloads
+
+TEST(Workloads, DeterministicInSeed) {
+  for (const auto w : {Workload::kUniformBall, Workload::kSimplexCorners,
+                       Workload::kClustered, Workload::kCollinear,
+                       Workload::kGaussian}) {
+    const auto a = make_inputs(w, 7, 3, 5.0, 42);
+    const auto b = make_inputs(w, 7, 3, 5.0, 42);
+    EXPECT_EQ(a, b) << to_string(w);
+    if (w != Workload::kSimplexCorners) {
+      const auto c = make_inputs(w, 7, 3, 5.0, 43);
+      EXPECT_NE(a, c) << to_string(w);
+    }
+  }
+}
+
+TEST(Workloads, ShapesAreRight) {
+  // Ball: all within radius.
+  for (const auto& v : make_inputs(Workload::kUniformBall, 20, 2, 3.0, 1)) {
+    EXPECT_LE(geo::norm(v), 3.0 + 1e-9);
+  }
+  // Simplex corners: exactly the scaled unit vectors, cycling.
+  const auto simplex = make_inputs(Workload::kSimplexCorners, 4, 2, 2.0, 1);
+  EXPECT_EQ(simplex[0], geo::Vec(2, 0.0));
+  EXPECT_EQ(simplex[1], (geo::Vec{2.0, 0.0}));
+  EXPECT_EQ(simplex[2], (geo::Vec{0.0, 2.0}));
+  EXPECT_EQ(simplex[3], geo::Vec(2, 0.0));  // wraps to corner 0
+  // Collinear: rank-1 span.
+  const auto line = make_inputs(Workload::kCollinear, 10, 3, 4.0, 1);
+  for (const auto& v : line) {
+    EXPECT_NEAR(v[0], v[1], 1e-12);
+    EXPECT_NEAR(v[1], v[2], 1e-12);
+  }
+  // Clustered: diameter about the cluster separation.
+  const auto clusters = make_inputs(Workload::kClustered, 10, 2, 8.0, 1);
+  EXPECT_GT(geo::diameter(clusters), 7.0);
+  EXPECT_LT(geo::diameter(clusters), 10.0);
+}
+
+TEST(Workloads, DimensionAndCount) {
+  for (std::size_t dim = 1; dim <= 5; ++dim) {
+    const auto inputs = make_inputs(Workload::kGaussian, 9, dim, 1.0, 5);
+    EXPECT_EQ(inputs.size(), 9u);
+    for (const auto& v : inputs) EXPECT_EQ(v.dim(), dim);
+  }
+}
+
+// ------------------------------------------------------------------ stats
+
+TEST(Stats, Moments) {
+  Stats s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Stats, Percentiles) {
+  Stats s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+}
+
+TEST(Stats, SingleSample) {
+  Stats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+// ------------------------------------------------------------------ parsers
+
+TEST(Parsers, RoundTripAllEnums) {
+  for (const auto network :
+       {Network::kSyncWorstCase, Network::kSyncJitter, Network::kSyncTargeted,
+        Network::kSyncRushing, Network::kAsyncReorder, Network::kAsyncPartition,
+        Network::kAsyncExponential}) {
+    EXPECT_EQ(parse_network(to_string(network)), network);
+  }
+  for (const auto adversary :
+       {Adversary::kNone, Adversary::kSilent, Adversary::kCrash,
+        Adversary::kEquivocator, Adversary::kOutlier, Adversary::kHaltRusher,
+        Adversary::kSpammer, Adversary::kStraggler, Adversary::kTurncoat,
+        Adversary::kMixed}) {
+    EXPECT_EQ(parse_adversary(to_string(adversary)), adversary);
+  }
+  for (const auto workload :
+       {Workload::kUniformBall, Workload::kSimplexCorners, Workload::kClustered,
+        Workload::kCollinear, Workload::kGaussian}) {
+    EXPECT_EQ(parse_workload(to_string(workload)), workload);
+  }
+  EXPECT_FALSE(parse_network("bogus").has_value());
+  EXPECT_FALSE(parse_adversary("bogus").has_value());
+  EXPECT_FALSE(parse_workload("bogus").has_value());
+}
+
+// ------------------------------------------------------------------ table
+
+TEST(Table, RendersAligned) {
+  Table t({"name", "value"});
+  t.row({"x", "1"});
+  t.row({"longer-name", "22"});
+  const auto s = t.render();
+  EXPECT_NE(s.find("name         value"), std::string::npos);
+  EXPECT_NE(s.find("-----------  -----"), std::string::npos);
+  EXPECT_NE(s.find("x            1"), std::string::npos);
+  EXPECT_NE(s.find("longer-name  22"), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt(3.14159), "3.142");
+  EXPECT_EQ(fmt(std::uint64_t{42}), "42");
+  EXPECT_EQ(fmt_ok(true), "yes");
+  EXPECT_EQ(fmt_ok(false), "NO");
+}
+
+// ------------------------------------------------------------------ runner
+
+TEST(Runner, DeterministicAcrossCalls) {
+  RunSpec spec;
+  spec.params.n = 5;
+  spec.params.ts = 1;
+  spec.params.ta = 1;
+  spec.params.dim = 2;
+  spec.params.eps = 1e-2;
+  spec.params.delta = 1000;
+  spec.network = Network::kAsyncReorder;
+  spec.adversary = Adversary::kSilent;
+  spec.corruptions = 1;
+  spec.seed = 77;
+
+  const auto a = execute(spec);
+  const auto b = execute(spec);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.verdict.output_diameter, b.verdict.output_diameter);
+  EXPECT_EQ(a.iteration_diameters, b.iteration_diameters);
+}
+
+TEST(Runner, EveryNetworkAndAdversaryExecutes) {
+  // Smoke test: every (network, adversary) combination at the threshold
+  // completes with a D-AA verdict.
+  for (const auto network :
+       {Network::kSyncWorstCase, Network::kSyncJitter, Network::kSyncTargeted,
+        Network::kSyncRushing, Network::kAsyncReorder, Network::kAsyncPartition,
+        Network::kAsyncExponential}) {
+    for (const auto adversary :
+         {Adversary::kSilent, Adversary::kCrash, Adversary::kEquivocator,
+          Adversary::kHaltRusher, Adversary::kSpammer, Adversary::kStraggler,
+          Adversary::kTurncoat}) {
+      RunSpec spec;
+      spec.params.n = 5;
+      spec.params.ts = 1;
+      spec.params.ta = 1;
+      spec.params.dim = 2;
+      spec.params.eps = 5e-2;
+      spec.params.delta = 1000;
+      spec.network = network;
+      spec.adversary = adversary;
+      spec.corruptions = 1;
+      spec.seed = 3;
+      const auto result = execute(spec);
+      EXPECT_TRUE(result.verdict.d_aa())
+          << to_string(network) << " + " << to_string(adversary);
+    }
+  }
+}
+
+TEST(Runner, LockstepBaselineRunsThroughRunner) {
+  RunSpec spec;
+  spec.protocol = Protocol::kSyncLockstep;
+  spec.params.n = 4;
+  spec.params.ts = 1;
+  spec.params.ta = 0;
+  spec.params.dim = 2;
+  spec.params.eps = 1e-2;
+  spec.params.delta = 1000;
+  spec.network = Network::kSyncJitter;
+  spec.adversary = Adversary::kSilent;
+  spec.corruptions = 1;
+  spec.seed = 5;
+  const auto result = execute(spec);
+  EXPECT_TRUE(result.verdict.d_aa());
+}
+
+}  // namespace
+}  // namespace hydra::harness

@@ -1,0 +1,229 @@
+// Property-based tests for the LP layer: membership soundness and
+// completeness on randomized instances, support-point optimality,
+// scale-invariance (the equilibration + normalization pipeline), and
+// regressions for the ill-conditioned Byzantine-outlier systems that
+// historically broke the solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/combinatorics.hpp"
+#include "common/rng.hpp"
+#include "geometry/convex.hpp"
+#include "geometry/lp.hpp"
+#include "geometry/safe_area.hpp"
+#include "geometry/vec.hpp"
+
+namespace hydra::geo {
+namespace {
+
+std::vector<Vec> random_points(Rng& rng, std::size_t count, std::size_t dim,
+                               double radius) {
+  std::vector<Vec> pts;
+  for (std::size_t i = 0; i < count; ++i) {
+    Vec v(dim, 0.0);
+    for (std::size_t d = 0; d < dim; ++d) v[d] = rng.next_double(-radius, radius);
+    pts.push_back(std::move(v));
+  }
+  return pts;
+}
+
+/// A random convex combination of `pts`.
+Vec random_inside(Rng& rng, const std::vector<Vec>& pts) {
+  std::vector<double> w(pts.size());
+  double sum = 0.0;
+  for (auto& x : w) {
+    x = rng.next_double() + 1e-3;
+    sum += x;
+  }
+  Vec q(pts[0].dim(), 0.0);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t d = 0; d < q.dim(); ++d) q[d] += (w[i] / sum) * pts[i][d];
+  }
+  return q;
+}
+
+struct DimCase {
+  std::size_t dim;
+  std::size_t count;
+};
+
+class LpMembership : public ::testing::TestWithParam<DimCase> {};
+
+TEST_P(LpMembership, ConvexCombinationsAreInside) {
+  const auto [dim, count] = GetParam();
+  Rng rng(100 + dim);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto pts = random_points(rng, count, dim, 10.0);
+    const Vec q = random_inside(rng, pts);
+    EXPECT_TRUE(in_convex_hull(pts, q, 1e-6)) << "trial " << trial;
+  }
+}
+
+TEST_P(LpMembership, PointsBeyondSupportAreOutside) {
+  const auto [dim, count] = GetParam();
+  Rng rng(200 + dim);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto pts = random_points(rng, count, dim, 10.0);
+    // Walk from the centroid through the farthest point and beyond: the
+    // result is strictly outside the hull.
+    Vec centroid(dim, 0.0);
+    for (const auto& p : pts) centroid += p;
+    centroid *= 1.0 / static_cast<double>(pts.size());
+    double best = -1.0;
+    Vec far = pts[0];
+    for (const auto& p : pts) {
+      if (distance(p, centroid) > best) {
+        best = distance(p, centroid);
+        far = p;
+      }
+    }
+    Vec q = far;
+    q += (far - centroid) * 0.5;  // 50% past the farthest vertex
+    EXPECT_FALSE(in_convex_hull(pts, q, 1e-6)) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, LpMembership,
+                         ::testing::Values(DimCase{1, 4}, DimCase{2, 6},
+                                           DimCase{3, 7}, DimCase{4, 9},
+                                           DimCase{5, 12}),
+                         [](const auto& info) {
+                           return "D" + std::to_string(info.param.dim);
+                         });
+
+TEST(LpProperties, IntersectionWitnessIsInEveryHull) {
+  Rng rng(33);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t dim = 2 + rng.next_below(2);
+    // Hulls sharing a common core guarantee a non-empty intersection.
+    const auto core = random_points(rng, dim + 1, dim, 2.0);
+    std::vector<std::vector<Vec>> hulls;
+    for (int h = 0; h < 4; ++h) {
+      auto hull = core;
+      const auto extra = random_points(rng, 3, dim, 10.0);
+      hull.insert(hull.end(), extra.begin(), extra.end());
+      hulls.push_back(std::move(hull));
+    }
+    const auto w = intersection_point(hulls);
+    ASSERT_TRUE(w.has_value()) << "trial " << trial;
+    for (const auto& hull : hulls) {
+      EXPECT_TRUE(in_convex_hull(hull, *w, 1e-6)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(LpProperties, SupportPointIsFeasibleAndExtreme) {
+  Rng rng(44);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t dim = 2 + rng.next_below(2);
+    const auto core = random_points(rng, dim + 2, dim, 3.0);
+    std::vector<std::vector<Vec>> hulls;
+    for (int h = 0; h < 3; ++h) {
+      auto hull = core;
+      const auto extra = random_points(rng, 2, dim, 8.0);
+      hull.insert(hull.end(), extra.begin(), extra.end());
+      hulls.push_back(std::move(hull));
+    }
+    Vec u(dim, 0.0);
+    for (std::size_t d = 0; d < dim; ++d) u[d] = rng.next_gaussian();
+
+    const auto s = support_point(hulls, u);
+    ASSERT_TRUE(s.has_value());
+    for (const auto& hull : hulls) {
+      EXPECT_TRUE(in_convex_hull(hull, *s, 1e-6)) << "trial " << trial;
+    }
+    // Extremeness: beats any core point (which is feasible) in direction u.
+    for (const auto& p : core) {
+      EXPECT_GE(dot(u, *s), dot(u, p) - 1e-6) << "trial " << trial;
+    }
+  }
+}
+
+TEST(LpProperties, MembershipIsScaleAndTranslationInvariant) {
+  Rng rng(55);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t dim = 1 + rng.next_below(3);
+    const auto pts = random_points(rng, dim + 3, dim, 5.0);
+    const Vec inside = random_inside(rng, pts);
+    Vec outside = pts[0];
+    outside += pts[0] * 3.0;  // 4x beyond a vertex from the origin side
+
+    for (const double scale : {1e-6, 1.0, 1e6}) {
+      Vec shift(dim, scale * 7.0);
+      auto transform = [&](const Vec& v) {
+        Vec out = v * scale;
+        out += shift;
+        return out;
+      };
+      std::vector<Vec> tp;
+      for (const auto& p : pts) tp.push_back(transform(p));
+      EXPECT_TRUE(in_convex_hull(tp, transform(inside), 1e-6 * scale))
+          << "trial " << trial << " scale " << scale;
+    }
+  }
+}
+
+TEST(LpProperties, ByzantineOutlierRegression) {
+  // The exact configuration that once produced a bogus intersection witness
+  // (the outlier itself) and infeasible support points: 4 honest points of
+  // spread ~15 plus an outlier at 1e5, five 1-removed restriction hulls.
+  const std::vector<Vec> values{{-100000, -100000, 100000},
+                                {-6.03446, -0.539038, -0.941906},
+                                {8.95109, 3.62304, 1.48502},
+                                {-8.16461, 5.76427, -0.818015},
+                                {6.89615, 7.35895, -4.26516}};
+  std::vector<std::vector<Vec>> hulls;
+  for_each_combination(5, 1, [&](const std::vector<std::size_t>& removed) {
+    const auto kept = complement_indices(5, removed);
+    std::vector<Vec> h;
+    for (auto i : kept) h.push_back(values[i]);
+    hulls.push_back(std::move(h));
+  });
+
+  const auto w = intersection_point(hulls);
+  ASSERT_TRUE(w.has_value());
+  for (std::size_t j = 0; j < hulls.size(); ++j) {
+    EXPECT_TRUE(in_convex_hull(hulls[j], *w, 1e-3)) << "hull " << j;
+  }
+
+  // All sampled support points of the safe area stay inside the honest hull.
+  const std::vector<Vec> honest(values.begin() + 1, values.end());
+  const auto sa = SafeArea::compute(values, 1);
+  ASSERT_FALSE(sa.empty());
+  for (const auto& e : sa.extreme_points()) {
+    EXPECT_TRUE(in_convex_hull(honest, e, 1e-3)) << to_string(e);
+  }
+  const auto mid = sa.midpoint_rule();
+  ASSERT_TRUE(mid.has_value());
+  EXPECT_TRUE(in_convex_hull(honest, *mid, 1e-3));
+}
+
+TEST(LpProperties, MixedMagnitudeMembership) {
+  // Membership queries against hulls mixing 1e-4 and 1e6 coordinates.
+  std::vector<Vec> pts{{1e6, 0.0}, {0.0, 1e6}, {1e-4, 1e-4}, {2e-4, 0.0}};
+  EXPECT_TRUE(in_convex_hull(pts, Vec{1.0, 1.0}, 1e-3));
+  EXPECT_TRUE(in_convex_hull(pts, Vec{5e5, 5e5}, 1.0));
+  EXPECT_FALSE(in_convex_hull(pts, Vec{-1.0, -1.0}, 1e-3));
+  EXPECT_FALSE(in_convex_hull(pts, Vec{1e6, 1e6}, 1.0));
+}
+
+TEST(LpProperties, DegenerateHullsHandled) {
+  // All points identical.
+  const std::vector<Vec> same(5, Vec{1.0, 2.0, 3.0});
+  EXPECT_TRUE(in_convex_hull(same, Vec{1.0, 2.0, 3.0}, 1e-9));
+  EXPECT_FALSE(in_convex_hull(same, Vec{1.0, 2.0, 3.01}, 1e-6));
+
+  // Collinear points in 3-D: hull is a segment.
+  std::vector<Vec> line;
+  for (int i = 0; i <= 4; ++i) {
+    line.push_back(Vec{1.0 * i, 2.0 * i, -1.0 * i});
+  }
+  EXPECT_TRUE(in_convex_hull(line, Vec{2.5, 5.0, -2.5}, 1e-6));
+  EXPECT_FALSE(in_convex_hull(line, Vec{2.5, 5.0, -2.0}, 1e-6));
+  EXPECT_FALSE(in_convex_hull(line, Vec{5.0, 10.0, -5.0}, 1e-6));  // past the end
+}
+
+}  // namespace
+}  // namespace hydra::geo

@@ -1,0 +1,196 @@
+// Property-based tests for the exact 2-D kernel: hull idempotence,
+// intersection algebra (commutativity, containment, identity, absorption),
+// clip monotonicity, and cross-validation of polygon membership against the
+// LP membership test.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geometry/convex.hpp"
+#include "geometry/polygon.hpp"
+#include "geometry/vec.hpp"
+
+namespace hydra::geo {
+namespace {
+
+std::vector<Vec> random_points(Rng& rng, std::size_t count, double radius) {
+  std::vector<Vec> pts;
+  for (std::size_t i = 0; i < count; ++i) {
+    pts.push_back(Vec{rng.next_double(-radius, radius), rng.next_double(-radius, radius)});
+  }
+  return pts;
+}
+
+/// Containment check: every vertex of `a` inside `b` (with tolerance).
+bool contained_in(const ConvexPolygon2D& a, const ConvexPolygon2D& b, double tol) {
+  for (const auto& v : a.vertices()) {
+    if (!b.contains(v, tol)) return false;
+  }
+  return true;
+}
+
+TEST(PolygonProperties, HullIsIdempotent) {
+  Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto pts = random_points(rng, 3 + rng.next_below(10), 10.0);
+    const auto h1 = ConvexPolygon2D::hull_of(pts);
+    const auto h2 = ConvexPolygon2D::hull_of(h1.vertices());
+    EXPECT_EQ(h1.vertices().size(), h2.vertices().size()) << "trial " << trial;
+    EXPECT_TRUE(contained_in(h1, h2, 1e-9));
+    EXPECT_TRUE(contained_in(h2, h1, 1e-9));
+  }
+}
+
+TEST(PolygonProperties, HullContainsAllInputPoints) {
+  Rng rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto pts = random_points(rng, 3 + rng.next_below(12), 10.0);
+    const auto hull = ConvexPolygon2D::hull_of(pts);
+    for (const auto& p : pts) {
+      EXPECT_TRUE(hull.contains(p, 1e-7)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(PolygonProperties, IntersectionIsCommutative) {
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto a = ConvexPolygon2D::hull_of(random_points(rng, 6, 10.0));
+    const auto b = ConvexPolygon2D::hull_of(random_points(rng, 6, 10.0));
+    const auto ab = a.intersect(b);
+    const auto ba = b.intersect(a);
+    EXPECT_EQ(ab.empty(), ba.empty()) << "trial " << trial;
+    if (!ab.empty()) {
+      EXPECT_TRUE(contained_in(ab, ba, 1e-6)) << "trial " << trial;
+      EXPECT_TRUE(contained_in(ba, ab, 1e-6)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(PolygonProperties, IntersectionContainedInBoth) {
+  Rng rng(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto a = ConvexPolygon2D::hull_of(random_points(rng, 7, 10.0));
+    const auto b = ConvexPolygon2D::hull_of(random_points(rng, 7, 10.0));
+    const auto c = a.intersect(b);
+    if (c.empty()) continue;
+    EXPECT_TRUE(contained_in(c, a, 1e-6)) << "trial " << trial;
+    EXPECT_TRUE(contained_in(c, b, 1e-6)) << "trial " << trial;
+  }
+}
+
+TEST(PolygonProperties, IntersectionWithSelfIsIdentity) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto a = ConvexPolygon2D::hull_of(random_points(rng, 8, 10.0));
+    const auto aa = a.intersect(a);
+    EXPECT_TRUE(contained_in(a, aa, 1e-6));
+    EXPECT_TRUE(contained_in(aa, a, 1e-6));
+    EXPECT_NEAR(a.diameter(), aa.diameter(), 1e-6);
+  }
+}
+
+TEST(PolygonProperties, IntersectionWithSupersetIsAbsorbing) {
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto pts = random_points(rng, 6, 5.0);
+    const auto small = ConvexPolygon2D::hull_of(pts);
+    // A strict superset hull: add far-out points.
+    auto big_pts = pts;
+    big_pts.push_back(Vec{20.0, 20.0});
+    big_pts.push_back(Vec{-20.0, 20.0});
+    big_pts.push_back(Vec{0.0, -25.0});
+    const auto big = ConvexPolygon2D::hull_of(big_pts);
+    const auto c = small.intersect(big);
+    ASSERT_FALSE(c.empty());
+    EXPECT_TRUE(contained_in(c, small, 1e-6));
+    EXPECT_TRUE(contained_in(small, c, 1e-6));
+  }
+}
+
+TEST(PolygonProperties, ClipShrinksOrPreserves) {
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto a = ConvexPolygon2D::hull_of(random_points(rng, 8, 10.0));
+    const double nx = rng.next_gaussian();
+    const double ny = rng.next_gaussian();
+    const double len = std::hypot(nx, ny);
+    if (len < 1e-6) continue;
+    const HalfPlane hp{nx / len, ny / len, rng.next_double(-5.0, 5.0)};
+    const auto clipped = a.clip(hp);
+    EXPECT_TRUE(contained_in(clipped, a, 1e-6)) << "trial " << trial;
+    EXPECT_LE(clipped.diameter(), a.diameter() + 1e-9);
+    // Every surviving vertex satisfies the half-plane.
+    for (const auto& v : clipped.vertices()) {
+      EXPECT_LE(hp.nx * v[0] + hp.ny * v[1], hp.c + 1e-6);
+    }
+  }
+}
+
+TEST(PolygonProperties, MembershipAgreesWithLpKernel) {
+  Rng rng(8);
+  int checked = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto pts = random_points(rng, 7, 10.0);
+    const auto hull = ConvexPolygon2D::hull_of(pts);
+    for (int probe = 0; probe < 8; ++probe) {
+      const Vec q{rng.next_double(-12.0, 12.0), rng.next_double(-12.0, 12.0)};
+      // Skip queries inside a band around the boundary, where the two
+      // kernels' tolerance conventions may legitimately differ.
+      if (hull.contains(q, 1e-3) != hull.contains(q, 0.0)) continue;
+      const bool poly_in = hull.contains(q, 1e-7);
+      const bool lp_in = in_convex_hull(pts, q, 1e-7);
+      EXPECT_EQ(poly_in, lp_in) << "trial " << trial << " q=" << to_string(q);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 100);
+}
+
+TEST(PolygonProperties, DegenerateIntersections) {
+  // Segment x segment crossing -> point.
+  const auto s1 = ConvexPolygon2D::hull_of(
+      std::vector<Vec>{{-1.0, 0.0}, {1.0, 0.0}});
+  const auto s2 = ConvexPolygon2D::hull_of(
+      std::vector<Vec>{{0.0, -1.0}, {0.0, 1.0}});
+  const auto x = s1.intersect(s2);
+  ASSERT_FALSE(x.empty());
+  EXPECT_NEAR(x.diameter(), 0.0, 1e-9);
+  EXPECT_TRUE(x.contains(Vec{0.0, 0.0}, 1e-7));
+
+  // Parallel disjoint segments -> empty.
+  const auto s3 = ConvexPolygon2D::hull_of(
+      std::vector<Vec>{{-1.0, 1.0}, {1.0, 1.0}});
+  EXPECT_TRUE(s1.intersect(s3).empty());
+
+  // Collinear overlapping segments -> the overlap.
+  const auto s4 = ConvexPolygon2D::hull_of(
+      std::vector<Vec>{{0.5, 0.0}, {3.0, 0.0}});
+  const auto o = s1.intersect(s4);
+  ASSERT_FALSE(o.empty());
+  EXPECT_NEAR(o.diameter(), 0.5, 1e-9);
+
+  // Point inside polygon -> the point.
+  const auto pt = ConvexPolygon2D::hull_of(std::vector<Vec>{{0.2, 0.1}});
+  const auto box = ConvexPolygon2D::hull_of(
+      std::vector<Vec>{{-1.0, -1.0}, {1.0, -1.0}, {1.0, 1.0}, {-1.0, 1.0}});
+  const auto pb = pt.intersect(box);
+  ASSERT_FALSE(pb.empty());
+  EXPECT_TRUE(pb.contains(Vec{0.2, 0.1}, 1e-9));
+
+  // Point outside polygon -> empty.
+  const auto far = ConvexPolygon2D::hull_of(std::vector<Vec>{{5.0, 5.0}});
+  EXPECT_TRUE(far.intersect(box).empty());
+}
+
+TEST(PolygonProperties, SliverTriangleKeepsItsSmallVertex) {
+  // Regression: a sliver with two huge vertices must not drop the third
+  // (orientation tolerance must be operand-relative, not global).
+  const std::vector<Vec> sliver{{1e6, -1e6}, {1.0, 0.0}, {0.0, 1.0}};
+  const auto hull = ConvexPolygon2D::hull_of(sliver);
+  EXPECT_EQ(hull.vertices().size(), 3u);
+}
+
+}  // namespace
+}  // namespace hydra::geo

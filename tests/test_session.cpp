@@ -1,0 +1,162 @@
+// Tests for session multiplexing: several concurrent ΠAA instances over one
+// network, with independent parameters and inputs per session, including a
+// mix of honest and Byzantine participants.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "geometry/convex.hpp"
+#include "protocol_test_util.hpp"
+#include "protocols/session.hpp"
+
+namespace hydra::test {
+namespace {
+
+using protocols::SessionRouter;
+
+Params make_params(std::size_t dim, double eps = 1e-2, std::size_t n = 5) {
+  Params p;
+  p.n = n;
+  p.ts = 1;
+  p.ta = 1;
+  p.dim = dim;
+  p.eps = eps;
+  p.delta = 1000;
+  return p;
+}
+
+TEST(Session, ThreeConcurrentAgreementsAllSucceed) {
+  // Session 0: D = 1, session 1: D = 2, session 2: D = 3 — all running over
+  // the same simulated network at once. n = 6 so the D = 3 session stays
+  // feasible: (3+1)*1 + 1 = 5 < 6.
+  const std::size_t n = 6;
+  sim::Simulation sim({.n = n, .delta = 1000, .seed = 11},
+                      std::make_unique<sim::UniformDelay>(1, 1000));
+
+  std::vector<SessionRouter*> routers;
+  Rng rng(5);
+  std::vector<std::vector<geo::Vec>> inputs(3);
+  for (std::size_t dim = 1; dim <= 3; ++dim) {
+    for (std::size_t i = 0; i < n; ++i) {
+      geo::Vec v(dim, 0.0);
+      for (std::size_t d = 0; d < dim; ++d) v[d] = rng.next_double(-9, 9);
+      inputs[dim - 1].push_back(std::move(v));
+    }
+  }
+
+  for (PartyId id = 0; id < n; ++id) {
+    auto router = std::make_unique<SessionRouter>();
+    for (std::uint32_t s = 0; s < 3; ++s) {
+      router->add_session(s, make_params(s + 1, 1e-2, n), inputs[s][id]);
+    }
+    routers.push_back(router.get());
+    sim.add_party(std::move(router));
+  }
+  const auto stats = sim.run();
+  EXPECT_FALSE(stats.hit_limit);
+
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    std::vector<geo::Vec> outputs;
+    for (auto* r : routers) {
+      ASSERT_TRUE(r->session(s).has_output()) << "session " << s;
+      outputs.push_back(r->session(s).output());
+      EXPECT_TRUE(geo::in_convex_hull(inputs[s], r->session(s).output(), 1e-5));
+    }
+    EXPECT_LE(geo::diameter(outputs), make_params(s + 1, 1e-2, n).eps + 1e-9)
+        << "session " << s;
+  }
+}
+
+TEST(Session, SessionsAreIsolated) {
+  // Two sessions with wildly different inputs: outputs must not bleed
+  // between them (the D = 2 session converges near its own inputs, far from
+  // the other session's).
+  const std::size_t n = 5;
+  sim::Simulation sim({.n = n, .delta = 1000, .seed = 13},
+                      std::make_unique<sim::UniformDelay>(1, 1000));
+  std::vector<SessionRouter*> routers;
+  for (PartyId id = 0; id < n; ++id) {
+    auto router = std::make_unique<SessionRouter>();
+    router->add_session(0, make_params(2),
+                        geo::Vec{1000.0 + id, 1000.0});  // cluster at ~1000
+    router->add_session(7, make_params(2),
+                        geo::Vec{-1000.0 - id, -1000.0});  // cluster at ~-1000
+    routers.push_back(router.get());
+    sim.add_party(std::move(router));
+  }
+  sim.run();
+  for (auto* r : routers) {
+    ASSERT_TRUE(r->all_output());
+    EXPECT_GT(r->session(0).output()[0], 900.0);
+    EXPECT_LT(r->session(7).output()[0], -900.0);
+  }
+}
+
+TEST(Session, ByzantinePartyAffectsNoSession) {
+  // One silent party; both sessions still satisfy D-AA among the honest.
+  const std::size_t n = 5;
+  sim::Simulation sim({.n = n, .delta = 1000, .seed = 17},
+                      std::make_unique<sim::UniformDelay>(1, 1000));
+  std::vector<SessionRouter*> honest;
+  std::vector<std::vector<geo::Vec>> inputs(2);
+  Rng rng(7);
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    for (std::size_t i = 0; i < n; ++i) {
+      inputs[s].push_back(geo::Vec{rng.next_double(-5, 5), rng.next_double(-5, 5)});
+    }
+  }
+  for (PartyId id = 0; id < n; ++id) {
+    if (id == 2) {
+      sim.add_party(std::make_unique<adversary::SilentParty>());
+      continue;
+    }
+    auto router = std::make_unique<SessionRouter>();
+    router->add_session(0, make_params(2), inputs[0][id]);
+    router->add_session(1, make_params(2), inputs[1][id]);
+    honest.push_back(router.get());
+    sim.add_party(std::move(router));
+  }
+  sim.run();
+
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    std::vector<geo::Vec> outputs;
+    std::vector<geo::Vec> honest_inputs;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i != 2) honest_inputs.push_back(inputs[s][i]);
+    }
+    for (auto* r : honest) {
+      ASSERT_TRUE(r->session(s).has_output());
+      outputs.push_back(r->session(s).output());
+      EXPECT_TRUE(geo::in_convex_hull(honest_inputs, r->session(s).output(), 1e-5));
+    }
+    EXPECT_LE(geo::diameter(outputs), make_params(2).eps + 1e-9);
+  }
+}
+
+TEST(Session, UnknownSessionTrafficDropped) {
+  // A spammer blasting keys with arbitrary session bits must not disturb a
+  // router hosting a single session.
+  const std::size_t n = 5;
+  sim::Simulation sim({.n = n, .delta = 1000, .seed = 19},
+                      std::make_unique<sim::UniformDelay>(1, 1000));
+  std::vector<SessionRouter*> honest;
+  const auto params = make_params(2);
+  for (PartyId id = 0; id < n; ++id) {
+    if (id == 4) {
+      sim.add_party(std::make_unique<adversary::SpammerParty>(
+          params, 23, params.delta / 2, 40 * params.delta));
+      continue;
+    }
+    auto router = std::make_unique<SessionRouter>();
+    router->add_session(3, params, geo::Vec{1.0 * id, -1.0 * id});
+    honest.push_back(router.get());
+    sim.add_party(std::move(router));
+  }
+  sim.run();
+  for (auto* r : honest) {
+    ASSERT_TRUE(r->session(3).has_output());
+  }
+}
+
+}  // namespace
+}  // namespace hydra::test

@@ -1,0 +1,78 @@
+// Randomized soak coverage: many full protocol runs across randomly drawn
+// feasible configurations, hostile network/adversary pairings and seeds.
+// Every run must satisfy all three D-AA properties — this is the widest net
+// in the suite and has historically been the first place subtle guard or
+// geometry bugs surface.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/runner.hpp"
+
+namespace hydra::harness {
+namespace {
+
+Network networks[] = {
+    Network::kSyncWorstCase, Network::kSyncJitter,      Network::kSyncTargeted,
+    Network::kSyncRushing,   Network::kAsyncReorder,    Network::kAsyncPartition,
+    Network::kAsyncExponential,
+};
+
+Adversary adversaries[] = {
+    Adversary::kSilent,   Adversary::kCrash,      Adversary::kEquivocator,
+    Adversary::kOutlier,  Adversary::kHaltRusher, Adversary::kSpammer,
+    Adversary::kStraggler, Adversary::kTurncoat,  Adversary::kMixed,
+};
+
+Workload workloads[] = {
+    Workload::kUniformBall, Workload::kSimplexCorners, Workload::kClustered,
+    Workload::kCollinear,   Workload::kGaussian,
+};
+
+/// Draws a random feasible configuration.
+RunSpec draw_spec(Rng& rng) {
+  RunSpec spec;
+  while (true) {
+    spec.params.dim = 1 + rng.next_below(3);
+    spec.params.ts = 1 + rng.next_below(2);
+    spec.params.ta = rng.next_below(spec.params.ts + 1);
+    // Smallest feasible n plus slack 0-2.
+    const std::size_t base = std::max((spec.params.dim + 1) * spec.params.ts +
+                                          spec.params.ta + 1,
+                                      3 * spec.params.ts + 1);
+    spec.params.n = base + rng.next_below(3);
+    if (spec.params.feasible() && spec.params.n <= 10) break;
+  }
+  spec.params.eps = 5e-2;
+  spec.params.delta = 1000;
+  spec.network = networks[rng.next_below(std::size(networks))];
+  spec.adversary = adversaries[rng.next_below(std::size(adversaries))];
+  spec.corruptions =
+      is_synchronous(spec.network) ? spec.params.ts : spec.params.ta;
+  spec.workload = workloads[rng.next_below(std::size(workloads))];
+  spec.workload_scale = 1.0 + rng.next_double() * 30.0;
+  spec.seed = rng.next_u64();
+  return spec;
+}
+
+class Soak : public ::testing::TestWithParam<int> {};
+
+TEST_P(Soak, RandomFeasibleConfigurationsSatisfyDAa) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 0x9e3779b97f4a7c15ULL + 1);
+  for (int run = 0; run < 5; ++run) {
+    const auto spec = draw_spec(rng);
+    const auto result = execute(spec);
+    EXPECT_TRUE(result.verdict.d_aa())
+        << "D=" << spec.params.dim << " n=" << spec.params.n
+        << " ts=" << spec.params.ts << " ta=" << spec.params.ta << " net="
+        << to_string(spec.network) << " adv=" << to_string(spec.adversary)
+        << " wl=" << to_string(spec.workload) << " seed=" << spec.seed
+        << " live=" << result.verdict.live << " valid=" << result.verdict.valid
+        << " diam=" << result.verdict.output_diameter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, Soak, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace hydra::harness

@@ -1,0 +1,131 @@
+// Timing-property tests: the paper's round constants realized exactly under
+// worst-case synchrony.
+//
+//   Theorem 4.2 : rBC honest liveness within 3 Delta; conditional liveness
+//                 within 2 Delta of the first honest delivery;
+//   Theorem 4.4 : oBC outputs at c_oBC * Delta = 5 Delta;
+//   Theorem 5.18: Πinit outputs at c_init * Delta = 8 Delta;
+//   Lemma 5.20  : until someone outputs, all honest parties complete
+//                 iteration `it` at exactly (c_init + it * c_AA-it) * Delta,
+//                 i.e. the protocol runs lock-step under synchrony.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "protocol_test_util.hpp"
+
+namespace hydra::test {
+namespace {
+
+Params make_params(std::size_t n, std::size_t ts, std::size_t ta) {
+  Params p;
+  p.n = n;
+  p.ts = ts;
+  p.ta = ta;
+  p.dim = 2;
+  p.eps = 1e-6;  // tiny eps so T > 1 whenever estimates diverge
+  p.delta = 1000;
+  return p;
+}
+
+TEST(Timing, RbcConditionalLivenessWithinTwoDelta) {
+  // All honest, worst-case delays: the spread between the first and last
+  // honest delivery of the same broadcast is at most c'_rBC * Delta = 2000.
+  const auto params = make_params(4, 1, 0);
+  sim::Simulation sim({.n = 4, .delta = params.delta, .seed = 1},
+                      std::make_unique<sim::UniformDelay>(1, params.delta));
+  std::vector<RbcTestParty*> parties;
+  for (int i = 0; i < 4; ++i) {
+    auto p = std::make_unique<RbcTestParty>(params);
+    parties.push_back(p.get());
+    sim.add_party(std::move(p));
+  }
+  parties[0]->broadcast_payload = Bytes{1, 2, 3};
+  sim.run();
+
+  Time first = kTimeInfinity;
+  Time last = 0;
+  for (auto* p : parties) {
+    ASSERT_EQ(p->deliveries.size(), 1u);
+    first = std::min(first, p->deliveries[0].at);
+    last = std::max(last, p->deliveries[0].at);
+  }
+  EXPECT_LE(last - first, Params::kCRbcCond * params.delta);
+}
+
+TEST(Timing, LockstepIterationsUnderWorstCaseSynchrony) {
+  // Lemma 5.20: with FixedDelay(Delta), every honest party adopts v_0 at
+  // exactly c_init * Delta and v_it at (c_init + it * c_AA-it) * Delta.
+  const auto params = make_params(5, 1, 1);
+  std::vector<geo::Vec> inputs{{0.0, 0.0}, {7.0, 1.0}, {2.0, 9.0},
+                               {-4.0, 3.0}, {5.0, -6.0}};
+  AaRunConfig cfg{.params = params, .inputs = inputs, .seed = 1};
+  cfg.delay = [](const Params& p) { return std::make_unique<sim::FixedDelay>(p.delta); };
+  auto run = run_aa(std::move(cfg));
+  ASSERT_TRUE(run.all_output());
+
+  for (auto* p : run.honest) {
+    const auto& times = p->value_times();
+    ASSERT_GE(times.size(), 2u);
+    EXPECT_EQ(times[0], Params::kCInit * params.delta);
+    for (std::size_t it = 1; it < times.size(); ++it) {
+      // The last entry may be adopted late if the party had already
+      // satisfied the halt condition a tick earlier; all entries adopted
+      // BEFORE output are exactly on the grid.
+      if (times[it] > p->output_time()) break;
+      EXPECT_EQ(times[it],
+                (Params::kCInit + static_cast<Time>(it) * Params::kCAaIt) *
+                    params.delta)
+          << "iteration " << it;
+    }
+  }
+}
+
+TEST(Timing, AllHonestOutputTimesWithinOneIterationSpread) {
+  // Lemma 5.21: all honest outputs land within (roughly) one iteration of
+  // the first, under synchrony.
+  const auto params = make_params(5, 1, 1);
+  std::vector<geo::Vec> inputs{{0.0, 0.0}, {7.0, 1.0}, {2.0, 9.0},
+                               {-4.0, 3.0}, {5.0, -6.0}};
+  AaRunConfig cfg{.params = params, .inputs = inputs, .seed = 2};
+  cfg.delay = [](const Params& p) { return std::make_unique<sim::FixedDelay>(p.delta); };
+  auto run = run_aa(std::move(cfg));
+  ASSERT_TRUE(run.all_output());
+  Time first = kTimeInfinity;
+  Time last = 0;
+  for (auto* p : run.honest) {
+    first = std::min(first, p->output_time());
+    last = std::max(last, p->output_time());
+  }
+  EXPECT_LE(last - first, Params::kCAaIt * params.delta);
+}
+
+TEST(Timing, SynchronousEndToEndBound) {
+  // Theorem-level bound: output by (c_init + (T_min + 1) c_AA-it + c'_rBC)Δ.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto params = make_params(8, 2, 1);  // (D+1)*2 + 1 = 7 < 8
+    std::vector<geo::Vec> inputs;
+    Rng rng(seed);
+    for (int i = 0; i < 8; ++i) {
+      inputs.push_back(geo::Vec{rng.next_double(-9, 9), rng.next_double(-9, 9)});
+    }
+    AaRunConfig cfg{.params = params, .inputs = inputs, .seed = seed};
+    cfg.delay = [](const Params& p) {
+      return std::make_unique<sim::UniformDelay>(1, p.delta);
+    };
+    auto run = run_aa(std::move(cfg));
+    ASSERT_TRUE(run.all_output());
+    std::uint64_t t_min = UINT64_MAX;
+    for (auto* p : run.honest) t_min = std::min(t_min, p->estimate());
+    const Time bound = (Params::kCInit +
+                        static_cast<Time>(t_min + 1) * Params::kCAaIt +
+                        Params::kCRbcCond) *
+                       params.delta;
+    for (auto* p : run.honest) {
+      EXPECT_LE(p->output_time(), bound) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hydra::test

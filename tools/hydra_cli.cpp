@@ -1,0 +1,212 @@
+// hydra — command-line driver for single runs and seed sweeps.
+//
+//   hydra run   [options]     execute one run, print the verdict and metrics
+//   hydra sweep [options]     execute --seeds runs, print the pass rate
+//   hydra list                print the accepted option values
+//
+// Options (with defaults):
+//   --n 5 --ts 1 --ta 1 --dim 2 --eps 1e-2 --delta 1000
+//   --protocol hybrid|sync-lockstep|async-mh
+//   --network sync-worst|sync-jitter|sync-target|sync-rush|
+//             async-reorder|async-partition|async-exp
+//   --adversary none|silent|crash|equivocate|outlier|halt-rush|spam|
+//               straggler|turncoat|mixed
+//   --corrupt 1 --workload ball|simplex|clustered|collinear|gaussian
+//   --scale 10 --seed 1 --seeds 20 --aggregation midpoint|centroid
+//
+// Exit status: 0 when every executed run satisfied D-AA, 1 otherwise —
+// usable directly in scripts and CI.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hpp"
+#include "harness/stats.hpp"
+#include "harness/table.hpp"
+
+using namespace hydra;
+using namespace hydra::harness;
+
+namespace {
+
+struct Options {
+  RunSpec spec;
+  std::uint64_t seeds = 20;
+};
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage: hydra <run|sweep|list> [--key value ...]\n"
+               "keys: n ts ta dim eps delta protocol network adversary corrupt\n"
+               "      workload scale seed seeds aggregation\n"
+               "run `hydra list` for accepted values.\n");
+  std::exit(2);
+}
+
+void list_values() {
+  std::printf("protocol   : hybrid sync-lockstep async-mh\n");
+  std::printf("network    : sync-worst sync-jitter sync-target sync-rush "
+              "async-reorder async-partition async-exp\n");
+  std::printf("adversary  : none silent crash equivocate outlier halt-rush "
+              "spam straggler turncoat mixed\n");
+  std::printf("workload   : ball simplex clustered collinear gaussian\n");
+  std::printf("aggregation: midpoint centroid\n");
+}
+
+Options parse(int argc, char** argv) {
+  Options opts;
+  auto& spec = opts.spec;
+  spec.params.n = 5;
+  spec.params.ts = 1;
+  spec.params.ta = 1;
+  spec.params.dim = 2;
+  spec.params.eps = 1e-2;
+  spec.params.delta = 1000;
+  spec.network = Network::kSyncJitter;
+  spec.adversary = Adversary::kSilent;
+  spec.corruptions = 1;
+  spec.workload = Workload::kUniformBall;
+  spec.workload_scale = 10.0;
+  spec.seed = 1;
+
+  std::map<std::string, std::string> kv;
+  for (int i = 2; i < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0 || i + 1 >= argc) usage("malformed options");
+    kv[key.substr(2)] = argv[i + 1];
+  }
+
+  const auto num = [&](const char* key, auto fallback) {
+    const auto it = kv.find(key);
+    if (it == kv.end()) return fallback;
+    return static_cast<decltype(fallback)>(std::strtod(it->second.c_str(), nullptr));
+  };
+  spec.params.n = num("n", spec.params.n);
+  spec.params.ts = num("ts", spec.params.ts);
+  spec.params.ta = num("ta", spec.params.ta);
+  spec.params.dim = num("dim", spec.params.dim);
+  spec.params.eps = num("eps", spec.params.eps);
+  spec.params.delta = num("delta", spec.params.delta);
+  spec.corruptions = num("corrupt", spec.corruptions);
+  spec.workload_scale = num("scale", spec.workload_scale);
+  spec.seed = num("seed", spec.seed);
+  opts.seeds = num("seeds", opts.seeds);
+
+  if (const auto it = kv.find("protocol"); it != kv.end()) {
+    const auto p = parse_protocol(it->second);
+    if (!p) usage("unknown protocol");
+    spec.protocol = *p;
+  }
+  if (const auto it = kv.find("network"); it != kv.end()) {
+    const auto n = parse_network(it->second);
+    if (!n) usage("unknown network");
+    spec.network = *n;
+  }
+  if (const auto it = kv.find("adversary"); it != kv.end()) {
+    const auto a = parse_adversary(it->second);
+    if (!a) usage("unknown adversary");
+    spec.adversary = *a;
+  }
+  if (const auto it = kv.find("workload"); it != kv.end()) {
+    const auto w = parse_workload(it->second);
+    if (!w) usage("unknown workload");
+    spec.workload = *w;
+  }
+  if (const auto it = kv.find("aggregation"); it != kv.end()) {
+    if (it->second == "centroid") {
+      spec.params.aggregation = protocols::Aggregation::kCentroid;
+    } else if (it->second == "midpoint") {
+      spec.params.aggregation = protocols::Aggregation::kDiameterMidpoint;
+    } else {
+      usage("unknown aggregation");
+    }
+  }
+
+  if (spec.protocol == Protocol::kHybrid && !spec.params.feasible()) {
+    usage("params violate (D+1) ts + ta < n (or n <= 3 ts)");
+  }
+  if (spec.corruptions >= spec.params.n) usage("corrupt must be < n");
+  return opts;
+}
+
+int cmd_run(const Options& opts) {
+  const auto result = execute(opts.spec);
+  Table table({"metric", "value"});
+  table.row({"protocol", to_string(opts.spec.protocol)});
+  table.row({"network", to_string(opts.spec.network)});
+  table.row({"adversary", to_string(opts.spec.adversary) + " x" +
+                              std::to_string(opts.spec.corruptions)});
+  table.row({"live", fmt_ok(result.verdict.live)});
+  table.row({"valid", fmt_ok(result.verdict.valid)});
+  table.row({"agree", fmt_ok(result.verdict.agreed)});
+  table.row({"output diameter", fmt(result.verdict.output_diameter)});
+  table.row({"input diameter", fmt(result.input_diameter)});
+  table.row({"rounds (Delta)", fmt(result.rounds)});
+  table.row({"messages", fmt(result.messages)});
+  table.row({"bytes", fmt(result.bytes)});
+  table.row({"T estimates", fmt(result.min_estimate) + ".." + fmt(result.max_estimate)});
+  table.row({"max msgs by one party", fmt(result.max_sent_by_party)});
+  table.row({"safe-area fallbacks", fmt(result.safe_area_fallbacks)});
+  table.print();
+  return result.verdict.d_aa() ? 0 : 1;
+}
+
+int cmd_sweep(Options opts) {
+  std::size_t pass = 0;
+  std::vector<std::uint64_t> failures;
+  Stats rounds;
+  Stats messages;
+  Stats diameters;
+  Stats estimates;
+  for (std::uint64_t s = 0; s < opts.seeds; ++s) {
+    opts.spec.seed = s + 1;
+    const auto result = execute(opts.spec);
+    if (result.verdict.d_aa()) {
+      ++pass;
+    } else {
+      failures.push_back(s + 1);
+    }
+    rounds.add(result.rounds);
+    messages.add(static_cast<double>(result.messages));
+    diameters.add(result.verdict.output_diameter);
+    estimates.add(static_cast<double>(result.min_estimate));
+  }
+  std::printf("%zu/%llu runs satisfied D-AA\n\n", pass,
+              static_cast<unsigned long long>(opts.seeds));
+
+  Table table({"metric", "mean", "min", "p50", "p95", "max"});
+  const auto row = [&](const char* name, const Stats& st) {
+    table.row({name, fmt(st.mean()), fmt(st.min()), fmt(st.percentile(50)),
+               fmt(st.percentile(95)), fmt(st.max())});
+  };
+  row("rounds (Delta)", rounds);
+  row("messages", messages);
+  row("output diameter", diameters);
+  row("T estimate (min)", estimates);
+  table.print();
+
+  if (!failures.empty()) {
+    std::printf("\nfailing seeds:");
+    for (auto s : failures) std::printf(" %llu", static_cast<unsigned long long>(s));
+    std::printf("\n");
+  }
+  return failures.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  if (command == "list") {
+    list_values();
+    return 0;
+  }
+  const auto opts = parse(argc, argv);
+  if (command == "run") return cmd_run(opts);
+  if (command == "sweep") return cmd_sweep(opts);
+  usage("unknown command");
+}
