@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aggregation_rules.dir/bench_aggregation_rules.cpp.o"
+  "CMakeFiles/bench_aggregation_rules.dir/bench_aggregation_rules.cpp.o.d"
+  "bench_aggregation_rules"
+  "bench_aggregation_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aggregation_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coordinatewise.dir/bench_coordinatewise.cpp.o"
+  "CMakeFiles/bench_coordinatewise.dir/bench_coordinatewise.cpp.o.d"
+  "bench_coordinatewise"
+  "bench_coordinatewise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coordinatewise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_safe_area.dir/bench_fig2_safe_area.cpp.o"
+  "CMakeFiles/bench_fig2_safe_area.dir/bench_fig2_safe_area.cpp.o.d"
+  "bench_fig2_safe_area"
+  "bench_fig2_safe_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_safe_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_geometry_kernels.dir/bench_geometry_kernels.cpp.o"
+  "CMakeFiles/bench_geometry_kernels.dir/bench_geometry_kernels.cpp.o.d"
+  "bench_geometry_kernels"
+  "bench_geometry_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_geometry_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_init_estimate.dir/bench_init_estimate.cpp.o"
+  "CMakeFiles/bench_init_estimate.dir/bench_init_estimate.cpp.o.d"
+  "bench_init_estimate"
+  "bench_init_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_init_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

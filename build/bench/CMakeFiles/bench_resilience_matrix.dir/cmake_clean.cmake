@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_resilience_matrix.dir/bench_resilience_matrix.cpp.o"
+  "CMakeFiles/bench_resilience_matrix.dir/bench_resilience_matrix.cpp.o.d"
+  "bench_resilience_matrix"
+  "bench_resilience_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_resilience_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thread_transport.dir/bench_thread_transport.cpp.o"
+  "CMakeFiles/bench_thread_transport.dir/bench_thread_transport.cpp.o.d"
+  "bench_thread_transport"
+  "bench_thread_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thread_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

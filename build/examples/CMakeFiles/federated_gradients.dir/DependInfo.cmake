@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/federated_gradients.cpp" "examples/CMakeFiles/federated_gradients.dir/federated_gradients.cpp.o" "gcc" "examples/CMakeFiles/federated_gradients.dir/federated_gradients.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocols/CMakeFiles/hydra_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversary/CMakeFiles/hydra_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hydra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/hydra_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

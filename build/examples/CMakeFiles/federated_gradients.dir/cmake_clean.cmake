@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_gradients.dir/federated_gradients.cpp.o"
+  "CMakeFiles/federated_gradients.dir/federated_gradients.cpp.o.d"
+  "federated_gradients"
+  "federated_gradients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_gradients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

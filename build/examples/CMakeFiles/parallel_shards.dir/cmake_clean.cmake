@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_shards.dir/parallel_shards.cpp.o"
+  "CMakeFiles/parallel_shards.dir/parallel_shards.cpp.o.d"
+  "parallel_shards"
+  "parallel_shards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_shards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

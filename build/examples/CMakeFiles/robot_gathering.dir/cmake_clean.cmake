@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robot_gathering.dir/robot_gathering.cpp.o"
+  "CMakeFiles/robot_gathering.dir/robot_gathering.cpp.o.d"
+  "robot_gathering"
+  "robot_gathering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robot_gathering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

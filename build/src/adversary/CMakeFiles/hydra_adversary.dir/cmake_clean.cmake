@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_adversary.dir/behaviors.cpp.o"
+  "CMakeFiles/hydra_adversary.dir/behaviors.cpp.o.d"
+  "CMakeFiles/hydra_adversary.dir/schedulers.cpp.o"
+  "CMakeFiles/hydra_adversary.dir/schedulers.cpp.o.d"
+  "libhydra_adversary.a"
+  "libhydra_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

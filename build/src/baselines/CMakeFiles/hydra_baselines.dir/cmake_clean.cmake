@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_baselines.dir/async_mh.cpp.o"
+  "CMakeFiles/hydra_baselines.dir/async_mh.cpp.o.d"
+  "CMakeFiles/hydra_baselines.dir/sync_lockstep.cpp.o"
+  "CMakeFiles/hydra_baselines.dir/sync_lockstep.cpp.o.d"
+  "libhydra_baselines.a"
+  "libhydra_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/convex.cpp" "src/geometry/CMakeFiles/hydra_geometry.dir/convex.cpp.o" "gcc" "src/geometry/CMakeFiles/hydra_geometry.dir/convex.cpp.o.d"
+  "/root/repo/src/geometry/hull3d.cpp" "src/geometry/CMakeFiles/hydra_geometry.dir/hull3d.cpp.o" "gcc" "src/geometry/CMakeFiles/hydra_geometry.dir/hull3d.cpp.o.d"
+  "/root/repo/src/geometry/lp.cpp" "src/geometry/CMakeFiles/hydra_geometry.dir/lp.cpp.o" "gcc" "src/geometry/CMakeFiles/hydra_geometry.dir/lp.cpp.o.d"
+  "/root/repo/src/geometry/polygon.cpp" "src/geometry/CMakeFiles/hydra_geometry.dir/polygon.cpp.o" "gcc" "src/geometry/CMakeFiles/hydra_geometry.dir/polygon.cpp.o.d"
+  "/root/repo/src/geometry/safe_area.cpp" "src/geometry/CMakeFiles/hydra_geometry.dir/safe_area.cpp.o" "gcc" "src/geometry/CMakeFiles/hydra_geometry.dir/safe_area.cpp.o.d"
+  "/root/repo/src/geometry/vec.cpp" "src/geometry/CMakeFiles/hydra_geometry.dir/vec.cpp.o" "gcc" "src/geometry/CMakeFiles/hydra_geometry.dir/vec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

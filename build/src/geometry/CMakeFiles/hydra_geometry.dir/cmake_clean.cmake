@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_geometry.dir/convex.cpp.o"
+  "CMakeFiles/hydra_geometry.dir/convex.cpp.o.d"
+  "CMakeFiles/hydra_geometry.dir/hull3d.cpp.o"
+  "CMakeFiles/hydra_geometry.dir/hull3d.cpp.o.d"
+  "CMakeFiles/hydra_geometry.dir/lp.cpp.o"
+  "CMakeFiles/hydra_geometry.dir/lp.cpp.o.d"
+  "CMakeFiles/hydra_geometry.dir/polygon.cpp.o"
+  "CMakeFiles/hydra_geometry.dir/polygon.cpp.o.d"
+  "CMakeFiles/hydra_geometry.dir/safe_area.cpp.o"
+  "CMakeFiles/hydra_geometry.dir/safe_area.cpp.o.d"
+  "CMakeFiles/hydra_geometry.dir/vec.cpp.o"
+  "CMakeFiles/hydra_geometry.dir/vec.cpp.o.d"
+  "libhydra_geometry.a"
+  "libhydra_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

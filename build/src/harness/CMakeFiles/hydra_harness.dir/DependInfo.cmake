@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/oracles.cpp" "src/harness/CMakeFiles/hydra_harness.dir/oracles.cpp.o" "gcc" "src/harness/CMakeFiles/hydra_harness.dir/oracles.cpp.o.d"
+  "/root/repo/src/harness/runner.cpp" "src/harness/CMakeFiles/hydra_harness.dir/runner.cpp.o" "gcc" "src/harness/CMakeFiles/hydra_harness.dir/runner.cpp.o.d"
+  "/root/repo/src/harness/stats.cpp" "src/harness/CMakeFiles/hydra_harness.dir/stats.cpp.o" "gcc" "src/harness/CMakeFiles/hydra_harness.dir/stats.cpp.o.d"
+  "/root/repo/src/harness/table.cpp" "src/harness/CMakeFiles/hydra_harness.dir/table.cpp.o" "gcc" "src/harness/CMakeFiles/hydra_harness.dir/table.cpp.o.d"
+  "/root/repo/src/harness/workloads.cpp" "src/harness/CMakeFiles/hydra_harness.dir/workloads.cpp.o" "gcc" "src/harness/CMakeFiles/hydra_harness.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hydra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/hydra_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/hydra_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversary/CMakeFiles/hydra_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hydra_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

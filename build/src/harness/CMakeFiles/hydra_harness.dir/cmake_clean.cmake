@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_harness.dir/oracles.cpp.o"
+  "CMakeFiles/hydra_harness.dir/oracles.cpp.o.d"
+  "CMakeFiles/hydra_harness.dir/runner.cpp.o"
+  "CMakeFiles/hydra_harness.dir/runner.cpp.o.d"
+  "CMakeFiles/hydra_harness.dir/stats.cpp.o"
+  "CMakeFiles/hydra_harness.dir/stats.cpp.o.d"
+  "CMakeFiles/hydra_harness.dir/table.cpp.o"
+  "CMakeFiles/hydra_harness.dir/table.cpp.o.d"
+  "CMakeFiles/hydra_harness.dir/workloads.cpp.o"
+  "CMakeFiles/hydra_harness.dir/workloads.cpp.o.d"
+  "libhydra_harness.a"
+  "libhydra_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

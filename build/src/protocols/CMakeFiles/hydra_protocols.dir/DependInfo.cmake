@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/aa.cpp" "src/protocols/CMakeFiles/hydra_protocols.dir/aa.cpp.o" "gcc" "src/protocols/CMakeFiles/hydra_protocols.dir/aa.cpp.o.d"
+  "/root/repo/src/protocols/aa_iteration.cpp" "src/protocols/CMakeFiles/hydra_protocols.dir/aa_iteration.cpp.o" "gcc" "src/protocols/CMakeFiles/hydra_protocols.dir/aa_iteration.cpp.o.d"
+  "/root/repo/src/protocols/codec.cpp" "src/protocols/CMakeFiles/hydra_protocols.dir/codec.cpp.o" "gcc" "src/protocols/CMakeFiles/hydra_protocols.dir/codec.cpp.o.d"
+  "/root/repo/src/protocols/init.cpp" "src/protocols/CMakeFiles/hydra_protocols.dir/init.cpp.o" "gcc" "src/protocols/CMakeFiles/hydra_protocols.dir/init.cpp.o.d"
+  "/root/repo/src/protocols/obc.cpp" "src/protocols/CMakeFiles/hydra_protocols.dir/obc.cpp.o" "gcc" "src/protocols/CMakeFiles/hydra_protocols.dir/obc.cpp.o.d"
+  "/root/repo/src/protocols/rbc.cpp" "src/protocols/CMakeFiles/hydra_protocols.dir/rbc.cpp.o" "gcc" "src/protocols/CMakeFiles/hydra_protocols.dir/rbc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hydra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/hydra_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_protocols.dir/aa.cpp.o"
+  "CMakeFiles/hydra_protocols.dir/aa.cpp.o.d"
+  "CMakeFiles/hydra_protocols.dir/aa_iteration.cpp.o"
+  "CMakeFiles/hydra_protocols.dir/aa_iteration.cpp.o.d"
+  "CMakeFiles/hydra_protocols.dir/codec.cpp.o"
+  "CMakeFiles/hydra_protocols.dir/codec.cpp.o.d"
+  "CMakeFiles/hydra_protocols.dir/init.cpp.o"
+  "CMakeFiles/hydra_protocols.dir/init.cpp.o.d"
+  "CMakeFiles/hydra_protocols.dir/obc.cpp.o"
+  "CMakeFiles/hydra_protocols.dir/obc.cpp.o.d"
+  "CMakeFiles/hydra_protocols.dir/rbc.cpp.o"
+  "CMakeFiles/hydra_protocols.dir/rbc.cpp.o.d"
+  "libhydra_protocols.a"
+  "libhydra_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_transport.dir/thread_net.cpp.o"
+  "CMakeFiles/hydra_transport.dir/thread_net.cpp.o.d"
+  "libhydra_transport.a"
+  "libhydra_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aa.dir/test_aa.cpp.o"
+  "CMakeFiles/test_aa.dir/test_aa.cpp.o.d"
+  "test_aa"
+  "test_aa.pdb"
+  "test_aa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codec_fuzz.dir/test_codec_fuzz.cpp.o"
+  "CMakeFiles/test_codec_fuzz.dir/test_codec_fuzz.cpp.o.d"
+  "test_codec_fuzz"
+  "test_codec_fuzz.pdb"
+  "test_codec_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codec_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

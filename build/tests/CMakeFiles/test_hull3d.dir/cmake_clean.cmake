@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hull3d.dir/test_hull3d.cpp.o"
+  "CMakeFiles/test_hull3d.dir/test_hull3d.cpp.o.d"
+  "test_hull3d"
+  "test_hull3d.pdb"
+  "test_hull3d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hull3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

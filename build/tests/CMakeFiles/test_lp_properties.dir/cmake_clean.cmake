@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lp_properties.dir/test_lp_properties.cpp.o"
+  "CMakeFiles/test_lp_properties.dir/test_lp_properties.cpp.o.d"
+  "test_lp_properties"
+  "test_lp_properties.pdb"
+  "test_lp_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lp_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

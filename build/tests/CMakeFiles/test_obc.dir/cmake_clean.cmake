@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_obc.dir/test_obc.cpp.o"
+  "CMakeFiles/test_obc.dir/test_obc.cpp.o.d"
+  "test_obc"
+  "test_obc.pdb"
+  "test_obc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_obc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_polygon_properties.dir/test_polygon_properties.cpp.o"
+  "CMakeFiles/test_polygon_properties.dir/test_polygon_properties.cpp.o.d"
+  "test_polygon_properties"
+  "test_polygon_properties.pdb"
+  "test_polygon_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_polygon_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

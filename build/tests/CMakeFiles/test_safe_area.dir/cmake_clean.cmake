@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_safe_area.dir/test_safe_area.cpp.o"
+  "CMakeFiles/test_safe_area.dir/test_safe_area.cpp.o.d"
+  "test_safe_area"
+  "test_safe_area.pdb"
+  "test_safe_area[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_safe_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

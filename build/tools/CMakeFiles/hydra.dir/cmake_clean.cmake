@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra.dir/hydra_cli.cpp.o"
+  "CMakeFiles/hydra.dir/hydra_cli.cpp.o.d"
+  "hydra"
+  "hydra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
