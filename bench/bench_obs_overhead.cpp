@@ -1,0 +1,229 @@
+// Guardrail for the observability layer: with obs disabled, the simulator's
+// hot path must cost < 2% over an uninstrumented event loop.
+//
+// There is no uninstrumented build to compare against, so this file carries
+// a replica of sim::Simulation's event loop — same Event struct, ordering,
+// Env virtual dispatch, delay-model draw and queue discipline — with the
+// `if (obs::enabled())` branches deleted. Both loops run the same
+// message-flood workload (the PingParty pattern from bench_simulator.cpp);
+// best-of-N wall times are compared. Exits nonzero when the overhead bound
+// is violated, so scripts can gate on it; deliberately NOT registered in
+// ctest — wall-clock comparisons are too noisy for a tier-1 gate.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "sim/delay.hpp"
+#include "sim/env.hpp"
+#include "sim/simulation.hpp"
+
+using namespace hydra;
+
+namespace {
+
+/// Self-perpetuating message chain; pure event-loop load, no protocol logic.
+class PingParty : public sim::IParty {
+ public:
+  explicit PingParty(int hops) : hops_(hops) {}
+
+  void start(sim::Env& env) override {
+    env.send((env.self() + 1) % static_cast<PartyId>(env.n()),
+             sim::Message{InstanceKey{1, 0, 0}, 0, {}});
+  }
+
+  void on_message(sim::Env& env, PartyId, const sim::Message& msg) override {
+    if (static_cast<int>(msg.key.b) >= hops_) return;
+    auto next = msg;
+    next.key.b += 1;
+    env.send((env.self() + 1) % static_cast<PartyId>(env.n()), next);
+  }
+
+  void on_timer(sim::Env&, std::uint64_t) override {}
+
+ private:
+  int hops_;
+};
+
+// ----------------------------------------------------- uninstrumented replica
+
+/// sim::Simulation with the obs branches deleted; everything else — event
+/// struct, tie-breaking, Env dispatch, delay draws — mirrors the original so
+/// the timing difference isolates the disabled-path instrumentation cost.
+class BaselineSim {
+ public:
+  BaselineSim(sim::SimConfig config, std::unique_ptr<sim::DelayModel> delay_model)
+      : config_(config), delay_model_(std::move(delay_model)), rng_(config.seed) {
+    stats_sent_.assign(config_.n, 0);
+  }
+
+  void add_party(std::unique_ptr<sim::IParty> party) {
+    const auto id = static_cast<PartyId>(parties_.size());
+    parties_.push_back(std::move(party));
+    envs_.push_back(std::make_unique<PartyEnv>(this, id));
+  }
+
+  std::uint64_t run() {
+    for (PartyId id = 0; id < parties_.size(); ++id) {
+      BaselineSim* sim = this;
+      schedule_phase(0, Phase::kMessage,
+                     [sim, id] { sim->parties_[id]->start(*sim->envs_[id]); });
+    }
+    while (!queue_.empty()) {
+      if (events_ >= config_.max_events || queue_.top().at > config_.max_time) break;
+      Event ev = queue_.top();
+      queue_.pop();
+      HYDRA_ASSERT(ev.at >= now_);
+      now_ = ev.at;
+      events_ += 1;
+      ev.fn();
+    }
+    return events_;
+  }
+
+ private:
+  class PartyEnv final : public sim::Env {
+   public:
+    PartyEnv(BaselineSim* sim, PartyId id) : sim_(sim), id_(id) {}
+
+    void send(PartyId to, sim::Message msg) override {
+      HYDRA_ASSERT(to < sim_->parties_.size());
+      sim_->deliver(id_, to, std::move(msg));
+    }
+    void broadcast(const sim::Message& msg) override {
+      for (PartyId to = 0; to < sim_->parties_.size(); ++to) {
+        sim_->deliver(id_, to, msg);
+      }
+    }
+    void set_timer(Time at, std::uint64_t timer_id) override {
+      BaselineSim* sim = sim_;
+      const PartyId id = id_;
+      sim_->schedule_phase(std::max(at, sim_->now_), Phase::kTimer, [sim, id, timer_id] {
+        sim->parties_[id]->on_timer(*sim->envs_[id], timer_id);
+      });
+    }
+    [[nodiscard]] Time now() const override { return sim_->now_; }
+    [[nodiscard]] PartyId self() const override { return id_; }
+    [[nodiscard]] std::size_t n() const override { return sim_->parties_.size(); }
+
+   private:
+    BaselineSim* sim_;
+    PartyId id_;
+  };
+
+  enum class Phase : std::uint8_t { kMessage = 0, kTimer = 1 };
+
+  struct Event {
+    Time at;
+    Phase phase;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      if (a.phase != b.phase) return a.phase > b.phase;
+      return a.seq > b.seq;
+    }
+  };
+
+  void schedule_phase(Time at, Phase phase, std::function<void()> fn) {
+    queue_.push(Event{at, phase, next_seq_++, std::move(fn)});
+  }
+
+  void deliver(PartyId from, PartyId to, sim::Message msg) {
+    messages_ += 1;
+    bytes_ += msg.wire_size();
+    stats_sent_[from] += 1;
+    const Duration d =
+        from == to ? 0 : delay_model_->delay(from, to, now_, msg, rng_);
+    HYDRA_ASSERT(from == to || d >= 1);
+    BaselineSim* sim = this;
+    schedule_phase(now_ + d, Phase::kMessage, [sim, to, msg = std::move(msg), from] {
+      sim->parties_[to]->on_message(*sim->envs_[to], from, msg);
+    });
+  }
+
+  sim::SimConfig config_;
+  std::unique_ptr<sim::DelayModel> delay_model_;
+  Rng rng_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<std::unique_ptr<sim::IParty>> parties_;
+  std::vector<std::unique_ptr<PartyEnv>> envs_;
+  Time now_ = 0;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t events_ = 0;
+  std::vector<std::uint64_t> stats_sent_;
+};
+
+// -------------------------------------------------------------------- timing
+
+constexpr std::size_t kParties = 16;
+constexpr int kHops = 2000;
+constexpr int kSimsPerTrial = 8;
+constexpr int kTrials = 9;
+
+std::uint64_t g_sink = 0;  ///< keeps run() results observable
+
+double run_instrumented() {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kSimsPerTrial; ++i) {
+    sim::Simulation sim({.n = kParties, .delta = 10, .seed = 1},
+                        std::make_unique<sim::FixedDelay>(10));
+    for (std::size_t p = 0; p < kParties; ++p) {
+      sim.add_party(std::make_unique<PingParty>(kHops));
+    }
+    g_sink += sim.run().events;
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+double run_baseline() {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kSimsPerTrial; ++i) {
+    BaselineSim sim({.n = kParties, .delta = 10, .seed = 1},
+                    std::make_unique<sim::FixedDelay>(10));
+    for (std::size_t p = 0; p < kParties; ++p) {
+      sim.add_party(std::make_unique<PingParty>(kHops));
+    }
+    g_sink += sim.run();
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+int main() {
+  obs::set_enabled(false);  // the claim under test is about the DISABLED path
+
+  // Warmup: fault in code, populate allocator caches for both loops.
+  run_baseline();
+  run_instrumented();
+
+  double best_base = 1e9;
+  double best_inst = 1e9;
+  for (int t = 0; t < kTrials; ++t) {
+    // Interleave so slow machine phases (thermal, noisy neighbours) hit both.
+    best_base = std::min(best_base, run_baseline());
+    best_inst = std::min(best_inst, run_instrumented());
+  }
+
+  const double overhead = best_inst / best_base - 1.0;
+  std::printf("obs-disabled overhead: %.2f%%  (instrumented %.1f ms vs baseline "
+              "%.1f ms, best of %d; %llu events)\n",
+              overhead * 100.0, best_inst * 1e3, best_base * 1e3, kTrials,
+              static_cast<unsigned long long>(g_sink));
+  if (overhead >= 0.02) {
+    std::printf("FAIL: disabled-path overhead >= 2%%\n");
+    return 1;
+  }
+  std::printf("OK: below the 2%% budget\n");
+  return 0;
+}

@@ -1,6 +1,8 @@
 #include "harness/runner.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cstdio>
 #include <memory>
 #include <set>
 #include <utility>
@@ -10,6 +12,11 @@
 #include "baselines/async_mh.hpp"
 #include "baselines/sync_lockstep.hpp"
 #include "common/assert.hpp"
+#include "common/log.hpp"
+#include "harness/stats.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "protocols/aa.hpp"
 #include "protocols/aa_iteration.hpp"
 #include "protocols/init.hpp"
@@ -114,6 +121,147 @@ struct HonestView {
   const std::vector<geo::Vec>* history = nullptr;
 };
 
+void summary_json(obs::JsonWriter& w, std::string_view name,
+                  const Stats::Summary& s) {
+  w.key(name);
+  w.begin_object();
+  w.kv("count", std::uint64_t{s.count});
+  w.kv("mean", s.mean);
+  w.kv("min", s.min);
+  w.kv("max", s.max);
+  w.kv("stddev", s.stddev);
+  w.kv("p50", s.p50);
+  w.kv("p95", s.p95);
+  w.kv("p99", s.p99);
+  w.end_object();
+}
+
+/// The per-run metrics snapshot: spec echo, verdict, totals, per-party and
+/// per-round communication, the diameter-contraction series (the empirical
+/// side of the paper's convergence lemmas), round-latency summary, and the
+/// full registry dump.
+void write_metrics_json(const RunSpec& spec, const RunResult& result,
+                        const Stats& round_latency) {
+  obs::JsonWriter w;
+  w.begin_object();
+
+  w.key("spec");
+  w.begin_object();
+  w.kv("protocol", to_string(spec.protocol));
+  w.kv("network", to_string(spec.network));
+  w.kv("adversary", to_string(spec.adversary));
+  w.kv("workload", to_string(spec.workload));
+  w.kv("workload_scale", spec.workload_scale);
+  w.kv("corruptions", std::uint64_t{spec.corruptions});
+  w.kv("n", std::uint64_t{spec.params.n});
+  w.kv("ts", std::uint64_t{spec.params.ts});
+  w.kv("ta", std::uint64_t{spec.params.ta});
+  w.kv("dim", std::uint64_t{spec.params.dim});
+  w.kv("eps", spec.params.eps);
+  w.kv("delta", std::int64_t{spec.params.delta});
+  w.kv("seed", spec.seed);
+  w.end_object();
+
+  w.key("verdict");
+  w.begin_object();
+  w.kv("live", result.verdict.live);
+  w.kv("valid", result.verdict.valid);
+  w.kv("agreed", result.verdict.agreed);
+  w.kv("output_diameter", result.verdict.output_diameter);
+  w.end_object();
+
+  w.key("totals");
+  w.begin_object();
+  w.kv("messages", result.messages);
+  w.kv("bytes", result.bytes);
+  w.kv("end_time", std::int64_t{result.end_time});
+  w.kv("rounds", result.rounds);
+  w.kv("hit_limit", result.hit_limit);
+  w.kv("input_diameter", result.input_diameter);
+  w.kv("min_estimate", result.min_estimate);
+  w.kv("max_estimate", result.max_estimate);
+  w.kv("max_output_iteration", std::uint64_t{result.max_output_iteration});
+  w.kv("safe_area_fallbacks", result.safe_area_fallbacks);
+  w.kv("max_sent_by_party", result.max_sent_by_party);
+  w.end_object();
+
+  const auto u64_array = [&w](std::string_view name,
+                              const std::vector<std::uint64_t>& xs) {
+    w.key(name);
+    w.begin_array();
+    for (const auto x : xs) w.value(x);
+    w.end_array();
+  };
+  u64_array("sent_per_party", result.sent_per_party);
+  w.key("per_round");
+  w.begin_object();
+  u64_array("messages", result.messages_per_round);
+  u64_array("bytes", result.bytes_per_round);
+  w.end_object();
+
+  // diameter_per_round[i] = honest value diameter after iteration i; the
+  // paper predicts contraction by sqrt(7/8) per iteration (Lemma 5.10).
+  w.key("diameter_per_round");
+  w.begin_array();
+  for (const double d : result.iteration_diameters) w.value(d);
+  w.end_array();
+
+  summary_json(w, "round_latency_delta", round_latency.summary());
+
+  w.key("registry");
+  w.raw(obs::Registry::global().to_json());
+
+  w.end_object();
+
+  std::FILE* f = std::fopen(spec.metrics_out.c_str(), "wb");
+  if (f == nullptr) {
+    HYDRA_LOG_ERROR("metrics: cannot open %s for writing", spec.metrics_out.c_str());
+    return;
+  }
+  const std::string& doc = w.str();
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+/// RAII for the per-run observability session: installs the trace sink,
+/// flips the global enabled flag, and restores everything on scope exit so
+/// nested/subsequent runs (e.g. seed sweeps) start clean.
+class ObsSession {
+ public:
+  explicit ObsSession(const RunSpec& spec) {
+    if (!spec.trace_out.empty()) {
+      sink_ = std::make_unique<obs::TraceSink>(spec.trace_out);
+      if (!sink_->ok()) {
+        sink_.reset();
+      } else {
+        obs::set_trace(sink_.get());
+      }
+    }
+    active_ = sink_ != nullptr || !spec.metrics_out.empty();
+    if (active_) {
+      was_enabled_ = obs::enabled();
+      obs::Registry::global().reset();
+      obs::set_enabled(true);
+    }
+  }
+
+  ~ObsSession() {
+    if (sink_ != nullptr) {
+      sink_->flush();
+      obs::set_trace(nullptr);
+    }
+    if (active_ && !was_enabled_) obs::set_enabled(false);
+  }
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+ private:
+  std::unique_ptr<obs::TraceSink> sink_;
+  bool active_ = false;
+  bool was_enabled_ = false;
+};
+
 }  // namespace
 
 std::string to_string(Network network) {
@@ -199,6 +347,8 @@ RunResult execute(const RunSpec& spec) {
   const Params& p = spec.params;
   HYDRA_ASSERT(spec.corruptions < p.n);
 
+  const ObsSession obs_session(spec);
+
   const auto inputs =
       make_inputs(spec.workload, p.n, p.dim, spec.workload_scale, spec.seed);
 
@@ -262,6 +412,9 @@ RunResult execute(const RunSpec& spec) {
   for (const auto sent : stats.sent_per_party) {
     result.max_sent_by_party = std::max(result.max_sent_by_party, sent);
   }
+  result.sent_per_party = stats.sent_per_party;
+  result.messages_per_round = stats.messages_per_round;
+  result.bytes_per_round = stats.bytes_per_round;
   result.input_diameter = geo::diameter(honest_inputs);
   result.messages = stats.messages;
   result.bytes = stats.bytes;
@@ -303,6 +456,39 @@ RunResult execute(const RunSpec& spec) {
   }
 
   result.verdict = check_d_aa(outputs, expected, honest_inputs, p.eps);
+
+  if (obs_session.active()) {
+    // Per-iteration latency in units of Delta, across every honest party:
+    // value_times()[i] - value_times()[i-1] spans iteration i. Theorems 4.4
+    // and 5.19 bound this by c_AA-it = 5 rounds under synchrony.
+    Stats round_latency;
+    static constexpr std::array<double, 7> kLatencyBounds{1.0, 2.0,  3.0, 5.0,
+                                                          8.0, 13.0, 21.0};
+    auto& latency_hist = obs::Registry::global().histogram("aa.round_latency_delta",
+                                                           kLatencyBounds);
+    for (const auto* party : hybrid_parties) {
+      const auto& times = party->value_times();
+      for (std::size_t i = 1; i < times.size(); ++i) {
+        const double in_delta = static_cast<double>(times[i] - times[i - 1]) /
+                                static_cast<double>(p.delta);
+        round_latency.add(in_delta);
+        latency_hist.observe(in_delta);
+      }
+    }
+    if (auto* tr = obs::trace()) {
+      // Append the honest-diameter contraction series so the trace renders
+      // a per-iteration counter track alongside the event timeline.
+      for (std::size_t i = 0; i < result.iteration_diameters.size(); ++i) {
+        tr->scalar(static_cast<Time>(i) * p.delta, 0, "honest_diameter",
+                   result.iteration_diameters[i]);
+      }
+    }
+    if (!spec.metrics_out.empty()) write_metrics_json(spec, result, round_latency);
+    HYDRA_LOG_INFO("run seed=%llu verdict=%s messages=%llu rounds=%.2f",
+                   static_cast<unsigned long long>(spec.seed),
+                   result.verdict.d_aa() ? "ok" : "FAIL",
+                   static_cast<unsigned long long>(result.messages), result.rounds);
+  }
   return result;
 }
 

@@ -71,6 +71,12 @@ struct RunSpec {
   std::size_t corruptions = 0;  ///< number of corrupted slots (ids 0..c-1)
   std::uint64_t seed = 1;
   Time max_time = 500'000'000;
+
+  // Observability (docs/OBSERVABILITY.md). When either path is set, execute()
+  // turns obs::enabled() on for the run's duration and resets the global
+  // metrics registry first, so each run's snapshot stands alone.
+  std::string trace_out;    ///< JSONL structured trace ("" = no trace)
+  std::string metrics_out;  ///< metrics JSON snapshot ("" = no export)
 };
 
 struct RunResult {
@@ -96,6 +102,12 @@ struct RunResult {
   std::uint64_t safe_area_fallbacks = 0;
   /// Messages sent by the busiest single party.
   std::uint64_t max_sent_by_party = 0;
+  /// Messages sent per party (index = PartyId).
+  std::vector<std::uint64_t> sent_per_party;
+  /// Per-round (units of Delta) communication; populated only when the run
+  /// executed with observability enabled (trace_out/metrics_out set).
+  std::vector<std::uint64_t> messages_per_round;
+  std::vector<std::uint64_t> bytes_per_round;
 };
 
 /// Executes one run on the discrete-event simulator.

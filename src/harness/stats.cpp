@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/assert.hpp"
 
@@ -32,8 +33,8 @@ double Stats::stddev() const {
   return std::sqrt(acc / static_cast<double>(samples_.size()));
 }
 
-double Stats::percentile(double p) const {
-  HYDRA_ASSERT(!samples_.empty());
+std::optional<double> Stats::percentile(double p) const {
+  if (samples_.empty()) return std::nullopt;
   HYDRA_ASSERT(p >= 0.0 && p <= 100.0);
   std::vector<double> sorted = samples_;
   std::sort(sorted.begin(), sorted.end());
@@ -41,6 +42,24 @@ double Stats::percentile(double p) const {
   const auto rank = static_cast<std::size_t>(
       std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
   return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+Stats::Summary Stats::summary() const {
+  Summary s;
+  s.count = samples_.size();
+  if (samples_.empty()) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    s.mean = s.min = s.max = s.stddev = s.p50 = s.p95 = s.p99 = nan;
+    return s;
+  }
+  s.mean = mean();
+  s.min = min();
+  s.max = max();
+  s.stddev = stddev();
+  s.p50 = *percentile(50);
+  s.p95 = *percentile(95);
+  s.p99 = *percentile(99);
+  return s;
 }
 
 }  // namespace hydra::harness

@@ -1,6 +1,8 @@
 // Small descriptive-statistics accumulator for seed sweeps.
 #pragma once
 
+#include <cstddef>
+#include <optional>
 #include <vector>
 
 namespace hydra::harness {
@@ -9,6 +11,19 @@ namespace hydra::harness {
 /// uses the nearest-rank method on the sorted samples.
 class Stats {
  public:
+  /// One-struct view of the accumulator, used by the metrics JSON export.
+  /// For an empty accumulator count is 0 and every statistic is NaN.
+  struct Summary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double stddev = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+
   void add(double sample) { samples_.push_back(sample); }
 
   [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
@@ -19,8 +34,10 @@ class Stats {
   [[nodiscard]] double max() const;
   [[nodiscard]] double stddev() const;
 
-  /// p in [0, 100]; nearest-rank. Asserts on an empty accumulator.
-  [[nodiscard]] double percentile(double p) const;
+  /// p in [0, 100]; nearest-rank. nullopt on an empty accumulator.
+  [[nodiscard]] std::optional<double> percentile(double p) const;
+
+  [[nodiscard]] Summary summary() const;
 
  private:
   std::vector<double> samples_;

@@ -1,0 +1,204 @@
+#include "obs/convert.hpp"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace hydra::obs {
+namespace {
+
+/// Parses one flat JSON object ({"k":v,...}, string or numeric values) into
+/// a key -> raw-value map. This is a reader for *our own* trace output, not
+/// a general JSON parser; on any structural surprise it returns an empty
+/// map and the caller skips the line.
+std::map<std::string, std::string> parse_flat_object(std::string_view line) {
+  std::map<std::string, std::string> out;
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  };
+  const auto parse_string = [&](std::string& into) -> bool {
+    if (i >= line.size() || line[i] != '"') return false;
+    ++i;
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\' && i + 1 < line.size()) {
+        ++i;
+        switch (line[i]) {
+          case 'n': into.push_back('\n'); break;
+          case 'r': into.push_back('\r'); break;
+          case 't': into.push_back('\t'); break;
+          case 'u':
+            // \u00XX from the writer's control-character escapes; keep as-is.
+            if (i + 4 < line.size()) {
+              into.append("\\u").append(line.substr(i + 1, 4));
+              i += 4;
+            }
+            break;
+          default: into.push_back(line[i]);
+        }
+      } else {
+        into.push_back(line[i]);
+      }
+      ++i;
+    }
+    if (i >= line.size()) return false;
+    ++i;  // closing quote
+    return true;
+  };
+
+  skip_ws();
+  if (i >= line.size() || line[i] != '{') return {};
+  ++i;
+  while (true) {
+    skip_ws();
+    if (i < line.size() && line[i] == '}') break;
+    std::string key;
+    if (!parse_string(key)) return {};
+    skip_ws();
+    if (i >= line.size() || line[i] != ':') return {};
+    ++i;
+    skip_ws();
+    std::string value;
+    if (i < line.size() && line[i] == '"') {
+      if (!parse_string(value)) return {};
+    } else {
+      while (i < line.size() && line[i] != ',' && line[i] != '}') {
+        value.push_back(line[i]);
+        ++i;
+      }
+    }
+    out.emplace(std::move(key), std::move(value));
+    skip_ws();
+    if (i < line.size() && line[i] == ',') {
+      ++i;
+      continue;
+    }
+    break;
+  }
+  return out;
+}
+
+std::int64_t num(const std::map<std::string, std::string>& kv, const char* key) {
+  const auto it = kv.find(key);
+  return it == kv.end() ? 0 : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+std::string str(const std::map<std::string, std::string>& kv, const char* key) {
+  const auto it = kv.find(key);
+  return it == kv.end() ? std::string{} : it->second;
+}
+
+/// Emits the shared prefix of one traceEvents entry.
+void event_header(JsonWriter& w, std::string_view name, std::string_view ph,
+                  std::int64_t ts, std::int64_t tid) {
+  w.begin_object();
+  w.kv("name", name);
+  w.kv("ph", ph);
+  w.kv("ts", ts);
+  w.kv("pid", 0);
+  w.kv("tid", tid);
+}
+
+}  // namespace
+
+std::size_t chrome_trace_from_jsonl(std::istream& in, std::ostream& out) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+
+  std::size_t converted = 0;
+  std::set<std::int64_t> tids;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto kv = parse_flat_object(line);
+    const std::string ev = str(kv, "ev");
+    if (ev.empty()) continue;
+    const std::int64_t t = num(kv, "t");
+
+    if (ev == "send" || ev == "deliver") {
+      const std::int64_t tid = ev == "send" ? num(kv, "from") : num(kv, "to");
+      tids.insert(tid);
+      const std::string name = ev + " tag" + str(kv, "tag") + " k" + str(kv, "kind");
+      event_header(w, name, "i", t, tid);
+      w.kv("s", "t");
+      w.key("args");
+      w.begin_object();
+      w.kv("from", num(kv, "from"));
+      w.kv("to", num(kv, "to"));
+      w.kv("tag", num(kv, "tag"));
+      w.kv("a", num(kv, "a"));
+      w.kv("b", num(kv, "b"));
+      w.kv("kind", num(kv, "kind"));
+      w.kv("bytes", num(kv, "bytes"));
+      w.end_object();
+      w.end_object();
+    } else if (ev == "state") {
+      const std::int64_t tid = num(kv, "party");
+      tids.insert(tid);
+      event_header(w, str(kv, "layer") + ":" + str(kv, "what"), "i", t, tid);
+      w.kv("s", "t");
+      w.key("args");
+      w.begin_object();
+      w.kv("a", num(kv, "a"));
+      w.kv("b", num(kv, "b"));
+      w.end_object();
+      w.end_object();
+    } else if (ev == "round_start" || ev == "round_end") {
+      const std::int64_t tid = num(kv, "party");
+      tids.insert(tid);
+      event_header(w, "it " + str(kv, "it"), ev == "round_start" ? "B" : "E", t, tid);
+      w.key("args");
+      w.begin_object();
+      w.kv("it", num(kv, "it"));
+      w.end_object();
+      w.end_object();
+    } else if (ev == "scalar") {
+      const std::int64_t tid = num(kv, "party");
+      tids.insert(tid);
+      const std::string name = str(kv, "name") + " p" + str(kv, "party");
+      event_header(w, name, "C", t, tid);
+      w.key("args");
+      w.begin_object();
+      const auto it = kv.find("value");
+      w.kv("value", it == kv.end() ? 0.0 : std::strtod(it->second.c_str(), nullptr));
+      w.end_object();
+      w.end_object();
+    } else if (ev == "log") {
+      event_header(w, "log", "i", t, -1);
+      w.kv("s", "g");
+      w.key("args");
+      w.begin_object();
+      w.kv("level", num(kv, "level"));
+      w.kv("msg", str(kv, "msg"));
+      w.end_object();
+      w.end_object();
+    } else {
+      continue;  // unknown event type (schema grew): skip, stay compatible
+    }
+    ++converted;
+  }
+
+  // Name the per-party thread tracks.
+  for (const auto tid : tids) {
+    event_header(w, "thread_name", "M", 0, tid);
+    w.key("args");
+    w.begin_object();
+    w.kv("name", "party " + std::to_string(tid));
+    w.end_object();
+    w.end_object();
+  }
+
+  w.end_array();
+  w.end_object();
+  const std::string doc = w.take();
+  out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+  return converted;
+}
+
+}  // namespace hydra::obs

@@ -1,0 +1,130 @@
+// Minimal append-only JSON writer used by the observability layer.
+//
+// The trace sink and the metrics snapshot both need to emit JSON without
+// pulling in a third-party library. JsonWriter builds one value into a
+// std::string; nesting is the caller's responsibility (begin/end pairs).
+// Doubles are printed with %.17g so that a value round-trips exactly and,
+// more importantly, so that two identical runs produce byte-identical
+// output — the determinism tests compare trace files bytewise.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace hydra::obs {
+
+class JsonWriter {
+ public:
+  void begin_object() {
+    comma();
+    out_.push_back('{');
+    fresh_ = true;
+  }
+  void end_object() {
+    out_.push_back('}');
+    fresh_ = false;
+  }
+  void begin_array() {
+    comma();
+    out_.push_back('[');
+    fresh_ = true;
+  }
+  void end_array() {
+    out_.push_back(']');
+    fresh_ = false;
+  }
+
+  /// Emits `"name":` — must be followed by exactly one value.
+  void key(std::string_view name) {
+    comma();
+    string_raw(name);
+    out_.push_back(':');
+    fresh_ = true;  // the upcoming value must not be preceded by a comma
+  }
+
+  void value(std::string_view s) {
+    comma();
+    string_raw(s);
+    fresh_ = false;
+  }
+  void value(const char* s) { value(std::string_view{s}); }
+  void value(bool b) {
+    comma();
+    out_ += b ? "true" : "false";
+    fresh_ = false;
+  }
+  void value(double d) {
+    comma();
+    if (std::isnan(d)) {
+      out_ += "null";  // JSON has no NaN
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", d);
+      out_ += buf;
+    }
+    fresh_ = false;
+  }
+  void value(std::uint64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    fresh_ = false;
+  }
+  void value(std::int64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    fresh_ = false;
+  }
+  void value(std::uint32_t v) { value(std::uint64_t{v}); }
+  void value(int v) { value(std::int64_t{v}); }
+
+  template <typename T>
+  void kv(std::string_view name, T v) {
+    key(name);
+    value(v);
+  }
+
+  /// Splices an already-serialized JSON value (e.g. a Registry snapshot).
+  void raw(std::string_view json) {
+    comma();
+    out_ += json;
+    fresh_ = false;
+  }
+
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+  [[nodiscard]] std::string take() noexcept { return std::move(out_); }
+
+ private:
+  void comma() {
+    if (!fresh_ && !out_.empty()) out_.push_back(',');
+  }
+
+  void string_raw(std::string_view s) {
+    out_.push_back('"');
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_.push_back(c);
+          }
+      }
+    }
+    out_.push_back('"');
+  }
+
+  std::string out_;
+  bool fresh_ = true;
+};
+
+}  // namespace hydra::obs

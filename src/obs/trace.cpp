@@ -1,0 +1,143 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+
+#include "common/log.hpp"
+#include "obs/json.hpp"
+
+namespace hydra::obs {
+namespace {
+
+std::atomic<TraceSink*> g_trace{nullptr};
+
+void log_to_trace(LogLevel level, const char* msg) {
+  if (TraceSink* sink = g_trace.load(std::memory_order_acquire)) {
+    sink->log(static_cast<int>(level), msg);
+  }
+}
+
+}  // namespace
+
+TraceSink::TraceSink(const std::string& path) : file_(std::fopen(path.c_str(), "wb")) {
+  if (file_ == nullptr) {
+    HYDRA_LOG_ERROR("trace: cannot open %s for writing", path.c_str());
+  }
+}
+
+TraceSink::~TraceSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void TraceSink::write_line(const std::string& line) {
+  if (file_ == nullptr) return;
+  const std::lock_guard lock(mutex_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+}
+
+namespace {
+
+std::string message_line(const char* ev, Time t, PartyId from, PartyId to,
+                         std::uint32_t tag, std::uint32_t a, std::uint32_t b,
+                         std::uint8_t kind, std::size_t bytes) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("ev", ev);
+  w.kv("t", std::int64_t{t});
+  w.kv("from", std::uint64_t{from});
+  w.kv("to", std::uint64_t{to});
+  w.kv("tag", tag);
+  w.kv("a", a);
+  w.kv("b", b);
+  w.kv("kind", std::uint64_t{kind});
+  w.kv("bytes", bytes);
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace
+
+void TraceSink::message_send(Time t, PartyId from, PartyId to, std::uint32_t tag,
+                             std::uint32_t a, std::uint32_t b, std::uint8_t kind,
+                             std::size_t bytes) {
+  write_line(message_line("send", t, from, to, tag, a, b, kind, bytes));
+}
+
+void TraceSink::message_deliver(Time t, PartyId from, PartyId to, std::uint32_t tag,
+                                std::uint32_t a, std::uint32_t b, std::uint8_t kind,
+                                std::size_t bytes) {
+  write_line(message_line("deliver", t, from, to, tag, a, b, kind, bytes));
+}
+
+void TraceSink::state(Time t, PartyId party, std::string_view layer,
+                      std::string_view what, std::uint32_t a, std::uint32_t b) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("ev", "state");
+  w.kv("t", std::int64_t{t});
+  w.kv("party", std::uint64_t{party});
+  w.kv("layer", layer);
+  w.kv("what", what);
+  w.kv("a", a);
+  w.kv("b", b);
+  w.end_object();
+  write_line(w.take());
+}
+
+void TraceSink::round_start(Time t, PartyId party, std::uint32_t iteration) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("ev", "round_start");
+  w.kv("t", std::int64_t{t});
+  w.kv("party", std::uint64_t{party});
+  w.kv("it", iteration);
+  w.end_object();
+  write_line(w.take());
+}
+
+void TraceSink::round_end(Time t, PartyId party, std::uint32_t iteration) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("ev", "round_end");
+  w.kv("t", std::int64_t{t});
+  w.kv("party", std::uint64_t{party});
+  w.kv("it", iteration);
+  w.end_object();
+  write_line(w.take());
+}
+
+void TraceSink::scalar(Time t, PartyId party, std::string_view name, double value) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("ev", "scalar");
+  w.kv("t", std::int64_t{t});
+  w.kv("party", std::uint64_t{party});
+  w.kv("name", name);
+  w.kv("value", value);
+  w.end_object();
+  write_line(w.take());
+}
+
+void TraceSink::log(int level, std::string_view msg) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("ev", "log");
+  w.kv("level", std::int64_t{level});
+  w.kv("msg", msg);
+  w.end_object();
+  write_line(w.take());
+}
+
+void TraceSink::flush() {
+  const std::lock_guard lock(mutex_);
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+void set_trace(TraceSink* sink) noexcept {
+  g_trace.store(sink, std::memory_order_release);
+  set_log_sink(sink != nullptr ? &log_to_trace : nullptr);
+}
+
+TraceSink* trace() noexcept { return g_trace.load(std::memory_order_acquire); }
+
+}  // namespace hydra::obs

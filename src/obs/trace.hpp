@@ -1,0 +1,88 @@
+// Structured trace sink: typed protocol/network events as JSONL.
+//
+// One TraceSink owns one output file; each emitter writes a single
+// self-contained JSON object per line (schema in docs/OBSERVABILITY.md).
+// Events carry *virtual* time only — wall-clock never appears in a trace, so
+// two runs with the same seed produce byte-identical files (asserted by
+// tests/test_obs.cpp). tools/trace_convert turns a trace into the Chrome
+// about://tracing (Perfetto) format.
+//
+// A process-wide sink can be installed with set_trace(); instrumentation
+// sites fetch it with trace() and must additionally be guarded by
+// obs::enabled() so the disabled path stays a single branch. Installing a
+// sink also routes HYDRA_LOG output into the trace (see common/log.hpp).
+//
+// Thread safety: emitters serialize on an internal mutex (the thread
+// transport writes from many party threads). Under the single-threaded
+// simulator the lock is uncontended.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace hydra::obs {
+
+class TraceSink {
+ public:
+  /// Opens `path` for writing (truncates). Check ok() before relying on it.
+  explicit TraceSink(const std::string& path);
+  ~TraceSink();
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  [[nodiscard]] bool ok() const noexcept { return file_ != nullptr; }
+
+  // -- network layer -------------------------------------------------------
+
+  /// A message handed to the network at virtual time `t`.
+  void message_send(Time t, PartyId from, PartyId to, std::uint32_t tag,
+                    std::uint32_t a, std::uint32_t b, std::uint8_t kind,
+                    std::size_t bytes);
+  /// A message delivered to `to` at virtual time `t`.
+  void message_deliver(Time t, PartyId from, PartyId to, std::uint32_t tag,
+                       std::uint32_t a, std::uint32_t b, std::uint8_t kind,
+                       std::size_t bytes);
+
+  // -- protocol layer ------------------------------------------------------
+
+  /// A sub-protocol state transition, e.g. layer="rbc", what="echo".
+  /// (a, b) are the InstanceKey coordinates of the affected instance.
+  void state(Time t, PartyId party, std::string_view layer, std::string_view what,
+             std::uint32_t a, std::uint32_t b);
+
+  /// ΠAA iteration boundaries for party-local rounds.
+  void round_start(Time t, PartyId party, std::uint32_t iteration);
+  void round_end(Time t, PartyId party, std::uint32_t iteration);
+
+  /// A named numeric observation (estimates, diameters, ...). Rendered as a
+  /// Chrome counter track by trace_convert.
+  void scalar(Time t, PartyId party, std::string_view name, double value);
+
+  // -- logging -------------------------------------------------------------
+
+  /// A HYDRA_LOG line routed into the trace (level as in hydra::LogLevel).
+  void log(int level, std::string_view msg);
+
+  void flush();
+
+ private:
+  void write_line(const std::string& line);
+
+  std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Installs (or, with nullptr, uninstalls) the process-wide sink and hooks
+/// the logger into it. The sink must outlive its installation.
+void set_trace(TraceSink* sink) noexcept;
+
+/// The currently installed sink, or nullptr.
+[[nodiscard]] TraceSink* trace() noexcept;
+
+}  // namespace hydra::obs

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "protocols/aa_iteration.hpp"
 #include "protocols/keys.hpp"
 
@@ -128,6 +130,10 @@ void AaParty::on_init_output(Env& env, const InitInstance::Output& out) {
   value_times_.push_back(env.now());
   it_ = 1;
   iter_start_ = env.now();
+  if (obs::enabled()) {
+    obs::Registry::global().counter("aa.round_start").inc();
+    if (auto* tr = obs::trace()) tr->round_start(env.now(), env.self(), 1);
+  }
   obc(1).start(env, out.v0);
   env.set_timer(iter_start_ + Params::kCAaIt * params_.delta, 0);
 }
@@ -165,6 +171,12 @@ void AaParty::advance(Env& env) {
       output_ = values_[it_h];  // values_[i] == v_i; v_0 .. v_{it-1} are known
       output_iter_ = it_h;
       output_time_ = env.now();
+      if (obs::enabled()) {
+        obs::Registry::global().counter("aa.output").inc();
+        if (auto* tr = obs::trace()) {
+          tr->state(env.now(), env.self(), "aa", "output", 0, it_h);
+        }
+      }
       return;
     }
 
@@ -177,16 +189,30 @@ void AaParty::advance(Env& env) {
     const geo::Vec v_it = result->second;
     values_.push_back(v_it);
     value_times_.push_back(env.now());
+    if (obs::enabled()) {
+      obs::Registry::global().counter("aa.round_end").inc();
+      if (auto* tr = obs::trace()) tr->round_end(env.now(), env.self(), it_);
+    }
 
     // Line 7: announce our own halt point.
     if (!sent_halt_ && it_ == big_t_) {
       sent_halt_ = true;
+      if (obs::enabled()) {
+        obs::Registry::global().counter("aa.halt_sent").inc();
+        if (auto* tr = obs::trace()) {
+          tr->state(env.now(), env.self(), "aa", "halt", 0, it_);
+        }
+      }
       mux_.broadcast(env, InstanceKey{kRbcHalt, env.self(), it_}, Bytes{});
     }
 
     // Line 11: next iteration.
     it_ += 1;
     iter_start_ = env.now();
+    if (obs::enabled()) {
+      obs::Registry::global().counter("aa.round_start").inc();
+      if (auto* tr = obs::trace()) tr->round_start(env.now(), env.self(), it_);
+    }
     obc(it_).start(env, v_it);
     env.set_timer(iter_start_ + Params::kCAaIt * params_.delta, 0);
   }

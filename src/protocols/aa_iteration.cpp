@@ -1,23 +1,54 @@
 #include "protocols/aa_iteration.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <chrono>
 
 #include "common/assert.hpp"
 #include "common/combinatorics.hpp"
 #include "geometry/convex.hpp"
 #include "geometry/safe_area.hpp"
+#include "obs/metrics.hpp"
 
 namespace hydra::protocols {
 namespace {
 
 std::atomic<std::uint64_t> g_fallbacks{0};
 
+void note_fallback() {
+  g_fallbacks.fetch_add(1);
+  if (obs::enabled()) {
+    obs::Registry::global().counter("aa.safe_area_fallbacks").inc();
+  }
+}
+
+geo::Vec compute_new_value_impl(const Params& params, const PairList& m);
+
 }  // namespace
 
 std::uint64_t safe_area_fallback_count() noexcept { return g_fallbacks.load(); }
 
 geo::Vec compute_new_value(const Params& params, const PairList& m) {
+  if (!obs::enabled()) return compute_new_value_impl(params, m);
+  // Wall-clock timing of the geometry kernel. This is observability-only
+  // data: it never feeds back into protocol decisions, so determinism of the
+  // run (and of the trace, which carries virtual time only) is preserved.
+  auto& registry = obs::Registry::global();
+  registry.counter("aa.safe_area_calls").inc();
+  const auto t0 = std::chrono::steady_clock::now();
+  geo::Vec v = compute_new_value_impl(params, m);
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  static constexpr std::array<double, 8> kBoundsUs{1.0,   5.0,   10.0,   50.0,
+                                                   100.0, 500.0, 1000.0, 5000.0};
+  registry.histogram("aa.safe_area_us", kBoundsUs)
+      .observe(std::chrono::duration<double, std::micro>(dt).count());
+  return v;
+}
+
+namespace {
+
+geo::Vec compute_new_value_impl(const Params& params, const PairList& m) {
   HYDRA_ASSERT(m.size() >= params.n - params.ts);
   HYDRA_ASSERT(m.size() <= params.n);
   const std::size_t k = m.size() - (params.n - params.ts);
@@ -40,7 +71,7 @@ geo::Vec compute_new_value(const Params& params, const PairList& m) {
     opts.clip_tol = tol;
     const auto relaxed = geo::SafeArea::compute(values, t, opts);
     if (auto v = pick(relaxed)) {
-      g_fallbacks.fetch_add(1);
+      note_fallback();
       return *v;
     }
   }
@@ -56,8 +87,10 @@ geo::Vec compute_new_value(const Params& params, const PairList& m) {
   const auto witness = geo::intersection_point(hulls, 1e-9);
   HYDRA_ASSERT_MSG(witness.has_value(),
                    "safe area empty despite Lemma 5.5 preconditions");
-  g_fallbacks.fetch_add(1);
+  note_fallback();
   return *witness;
 }
+
+}  // namespace
 
 }  // namespace hydra::protocols

@@ -5,10 +5,23 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "protocols/aa_iteration.hpp"
 #include "protocols/keys.hpp"
 
 namespace hydra::protocols {
+namespace {
+
+void note_transition(const Env& env, const char* what) {
+  if (!obs::enabled()) return;
+  obs::Registry::global().counter(std::string("init.") + what).inc();
+  if (auto* tr = obs::trace()) {
+    tr->state(env.now(), env.self(), "init", what, 0, 0);
+  }
+}
+
+}  // namespace
 
 std::uint64_t sufficient_iterations(double eps, double diam) {
   HYDRA_ASSERT(eps > 0.0);
@@ -25,6 +38,7 @@ void InitInstance::start(Env& env, const geo::Vec& input) {
   HYDRA_ASSERT(input.dim() == params_.dim);
   started_ = true;
   tau_start_ = env.now();
+  note_transition(env, "start");
 
   mux_->broadcast(env, InstanceKey{kRbcInitValue, env.self(), 0}, encode_value(input));
 
@@ -106,6 +120,7 @@ void InitInstance::step(Env& env, bool at_timer) {
   if (!sent_report_ && reached(tau_start_ + Params::kCRbc * params_.delta) &&
       m_.size() >= params_.quorum()) {
     sent_report_ = true;
+    note_transition(env, "report");
     PairList snapshot;
     snapshot.reserve(m_.size());
     for (const auto& [party, value] : m_) snapshot.emplace_back(party, value);
@@ -117,6 +132,7 @@ void InitInstance::step(Env& env, bool at_timer) {
   if (!sent_witness_set_ && reached(tau_start_ + 2 * Params::kCRbc * params_.delta) &&
       w_.size() >= params_.quorum()) {
     sent_witness_set_ = true;
+    note_transition(env, "witness_set");
     env.broadcast(sim::Message{InstanceKey{kInitWitnessSet, 0, 0}, kDirect,
                                encode_party_set(w_)});
   }
@@ -132,6 +148,13 @@ void InitInstance::step(Env& env, bool at_timer) {
     out.iterations =
         sufficient_iterations(params_.eps, geo::diameter(values_of(ie_sorted)));
     output_ = std::move(out);
+    note_transition(env, "output");
+    if (obs::enabled()) {
+      if (auto* tr = obs::trace()) {
+        tr->scalar(env.now(), env.self(), "init.T",
+                   static_cast<double>(output_->iterations));
+      }
+    }
     if (on_output) on_output(env, *output_);
   }
 }

@@ -3,15 +3,29 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "protocols/keys.hpp"
 
 namespace hydra::protocols {
+namespace {
+
+void note_transition(const Env& env, std::uint32_t iteration, const char* what) {
+  if (!obs::enabled()) return;
+  obs::Registry::global().counter(std::string("obc.") + what).inc();
+  if (auto* tr = obs::trace()) {
+    tr->state(env.now(), env.self(), "obc", what, 0, iteration);
+  }
+}
+
+}  // namespace
 
 void ObcInstance::start(Env& env, const geo::Vec& input) {
   HYDRA_ASSERT_MSG(!started_, "ObcInstance started twice");
   HYDRA_ASSERT(input.dim() == params_.dim);
   started_ = true;
   tau_start_ = env.now();
+  note_transition(env, iteration_, "start");
 
   mux_->broadcast(env, InstanceKey{kRbcObcValue, env.self(), iteration_},
                   encode_value(input));
@@ -79,6 +93,7 @@ void ObcInstance::step(Env& env, bool at_timer) {
   if (!sent_report_ && reached(tau_start_ + Params::kCRbc * params_.delta) &&
       m_.size() >= params_.quorum()) {
     sent_report_ = true;
+    note_transition(env, iteration_, "report");
     env.broadcast(sim::Message{InstanceKey{kObcReport, 0, iteration_}, kDirect,
                                encode_pairs(snapshot())});
   }
@@ -87,6 +102,7 @@ void ObcInstance::step(Env& env, bool at_timer) {
   if (!output_ && reached(tau_start_ + Params::kCObc * params_.delta) &&
       witnesses_.size() >= params_.quorum()) {
     output_ = snapshot();
+    note_transition(env, iteration_, "output");
     if (on_output) on_output(env, *output_);
   }
 }

@@ -3,22 +3,39 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hydra::protocols {
+namespace {
+
+/// Trace/metrics hook for RBC state transitions (send/echo/ready/deliver).
+void note_transition(const Env& env, const InstanceKey& key, const char* what) {
+  if (!obs::enabled()) return;
+  obs::Registry::global().counter(std::string("rbc.") + what).inc();
+  if (auto* tr = obs::trace()) {
+    tr->state(env.now(), env.self(), "rbc", what, key.a, key.b);
+  }
+}
+
+}  // namespace
 
 void RbcInstance::broadcast(Env& env, Bytes payload) {
   HYDRA_ASSERT_MSG(key_.a == env.self(), "only the designated sender may broadcast");
+  note_transition(env, key_, "send");
   Message msg{key_, kRbcSend, std::move(payload)};
   env.broadcast(msg);
 }
 
 void RbcInstance::send_echo(Env& env, const Bytes& payload) {
   sent_echo_ = true;
+  note_transition(env, key_, "echo");
   env.broadcast(Message{key_, kRbcEcho, payload});
 }
 
 void RbcInstance::send_ready(Env& env, const Bytes& payload) {
   sent_ready_ = true;
+  note_transition(env, key_, "ready");
   env.broadcast(Message{key_, kRbcReady, payload});
 }
 
@@ -50,6 +67,7 @@ bool RbcInstance::on_message(Env& env, PartyId from, const Message& msg) {
       if (voters.size() >= n - t && !delivered_) {
         delivered_ = true;
         output_ = msg.payload;
+        note_transition(env, key_, "deliver");
         return true;
       }
       return false;

@@ -1,9 +1,12 @@
 #include "sim/simulation.hpp"
 
 #include <algorithm>
+#include <array>
 #include <utility>
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hydra::sim {
 
@@ -64,6 +67,34 @@ void Simulation::schedule_phase(Time at, Phase phase, std::function<void()> fn) 
   queue_.push(Event{at, phase, next_seq_++, std::move(fn)});
 }
 
+void Simulation::record_send(PartyId from, PartyId to, const Message& msg,
+                             Duration delay) {
+  auto& registry = obs::Registry::global();
+  registry.counter("sim.messages").inc();
+  registry.counter("sim.bytes").inc(msg.wire_size());
+  if (config_.delta > 0) {
+    // Per-round accounting: the paper's round structure is in units of Delta.
+    const auto round = static_cast<std::size_t>(now_ / config_.delta);
+    if (stats_.messages_per_round.size() <= round) {
+      stats_.messages_per_round.resize(round + 1, 0);
+      stats_.bytes_per_round.resize(round + 1, 0);
+    }
+    stats_.messages_per_round[round] += 1;
+    stats_.bytes_per_round[round] += msg.wire_size();
+    if (from != to) {
+      // Delay in units of Delta: >1 means the synchrony bound was violated.
+      static constexpr std::array<double, 7> kBounds{0.25, 0.5, 1.0, 2.0,
+                                                     4.0,  8.0, 16.0};
+      registry.histogram("sim.delay_delta", kBounds)
+          .observe(static_cast<double>(delay) / static_cast<double>(config_.delta));
+    }
+  }
+  if (auto* tr = obs::trace()) {
+    tr->message_send(now_, from, to, msg.key.tag, msg.key.a, msg.key.b, msg.kind,
+                     msg.wire_size());
+  }
+}
+
 void Simulation::deliver(PartyId from, PartyId to, Message msg) {
   stats_.messages += 1;
   stats_.bytes += msg.wire_size();
@@ -73,8 +104,15 @@ void Simulation::deliver(PartyId from, PartyId to, Message msg) {
   const Duration d =
       from == to ? 0 : delay_model_->delay(from, to, now_, msg, rng_);
   HYDRA_ASSERT(from == to || d >= 1);
+  if (obs::enabled()) record_send(from, to, msg, d);
   Simulation* sim = this;
   schedule_phase(now_ + d, Phase::kMessage, [sim, from, to, msg = std::move(msg)] {
+    if (obs::enabled()) {
+      if (auto* tr = obs::trace()) {
+        tr->message_deliver(sim->now_, from, to, msg.key.tag, msg.key.a, msg.key.b,
+                            msg.kind, msg.wire_size());
+      }
+    }
     sim->parties_[to]->on_message(*sim->envs_[to], from, msg);
   });
 }
@@ -101,6 +139,9 @@ SimStats Simulation::run() {
   }
 
   stats_.end_time = now_;
+  if (obs::enabled()) {
+    obs::Registry::global().counter("sim.events").inc(stats_.events);
+  }
   return stats_;
 }
 

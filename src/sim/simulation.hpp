@@ -37,6 +37,11 @@ struct SimStats {
   /// Messages sent per party (index = PartyId): per-party bandwidth lens,
   /// e.g. to spot a spamming Byzantine slot or asymmetric load.
   std::vector<std::uint64_t> sent_per_party;
+  /// Per-round communication accounting, index = floor(send time / delta).
+  /// Collected only while observability is enabled (obs::enabled()); empty
+  /// otherwise so the disabled hot path stays a single branch.
+  std::vector<std::uint64_t> messages_per_round;
+  std::vector<std::uint64_t> bytes_per_round;
 };
 
 class Simulation {
@@ -72,6 +77,10 @@ class Simulation {
 
   void schedule_phase(Time at, Phase phase, std::function<void()> fn);
   void deliver(PartyId from, PartyId to, Message msg);
+
+  /// Observability slow path: counters, per-round accounting and the trace
+  /// send event. Called from deliver() only when obs::enabled().
+  void record_send(PartyId from, PartyId to, const Message& msg, Duration delay);
 
   SimConfig config_;
   std::unique_ptr<DelayModel> delay_model_;

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hydra::transport {
 
@@ -158,6 +160,17 @@ void ThreadNetwork::post(PartyId from, PartyId to, sim::Message msg) {
     const std::lock_guard lock(delay_mutex_);
     d = delay_model_->delay(from, to, now_ticks(), msg, delay_rng_);
   }
+  if (obs::enabled()) {
+    auto& registry = obs::Registry::global();
+    registry.counter("net.messages").inc();
+    registry.counter("net.bytes").inc(msg.wire_size());
+    // Wall-clock-driven tick stamps: thread-transport traces are NOT
+    // deterministic across runs (unlike simulator traces).
+    if (auto* tr = obs::trace()) {
+      tr->message_send(now_ticks(), from, to, msg.key.tag, msg.key.a, msg.key.b,
+                       msg.kind, msg.wire_size());
+    }
+  }
   mailboxes_[to]->push(Mailbox::Item{now_ticks() + d,
                                      seq.fetch_add(1, std::memory_order_relaxed), from,
                                      std::move(msg)});
@@ -186,6 +199,13 @@ ThreadNetStats ThreadNetwork::run(
                                           timer_at);
       if (stop.load(std::memory_order_acquire)) break;
       if (item) {
+        if (obs::enabled()) {
+          if (auto* tr = obs::trace()) {
+            const auto& m = item->msg;
+            tr->message_deliver(now_ticks(), item->from, id, m.key.tag, m.key.a,
+                                m.key.b, m.kind, m.wire_size());
+          }
+        }
         party.on_message(env, item->from, item->msg);
       }
       // Fire all due timers.

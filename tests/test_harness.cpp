@@ -121,18 +121,35 @@ TEST(Stats, Moments) {
 TEST(Stats, Percentiles) {
   Stats s;
   for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
-  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
-  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
-  EXPECT_DOUBLE_EQ(s.percentile(95), 95.0);
-  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(*s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(*s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(*s.percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(*s.percentile(100), 100.0);
 }
 
 TEST(Stats, SingleSample) {
   Stats s;
   s.add(42.0);
   EXPECT_DOUBLE_EQ(s.mean(), 42.0);
-  EXPECT_DOUBLE_EQ(s.percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(*s.percentile(50), 42.0);
   EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, EmptyPercentileIsNullopt) {
+  const Stats s;
+  EXPECT_FALSE(s.percentile(50).has_value());
+  EXPECT_EQ(s.summary().count, 0u);
+}
+
+TEST(Stats, Summary) {
+  Stats s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  const auto sum = s.summary();
+  EXPECT_EQ(sum.count, 5u);
+  EXPECT_DOUBLE_EQ(sum.mean, 3.0);
+  EXPECT_DOUBLE_EQ(sum.min, 1.0);
+  EXPECT_DOUBLE_EQ(sum.max, 5.0);
+  EXPECT_DOUBLE_EQ(sum.p50, 3.0);
 }
 
 // ------------------------------------------------------------------ parsers

@@ -1,0 +1,254 @@
+// Observability layer: registry semantics, histogram bucket edges, the
+// disabled path staying a no-op, trace determinism (same seed -> byte
+// identical), and the Chrome trace converter.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "common/log.hpp"
+#include "harness/runner.hpp"
+#include "obs/convert.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+using namespace hydra;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// ------------------------------------------------------------------ registry
+
+TEST(Registry, CounterFindOrCreate) {
+  obs::Registry reg;
+  auto& a = reg.counter("x");
+  a.inc();
+  a.inc(4);
+  // Same name resolves to the same instrument.
+  EXPECT_EQ(&reg.counter("x"), &a);
+  EXPECT_EQ(reg.counter("x").value(), 5u);
+  EXPECT_EQ(reg.counter("y").value(), 0u);
+}
+
+TEST(Registry, Gauge) {
+  obs::Registry reg;
+  auto& g = reg.gauge("depth");
+  g.set(7);
+  g.add(-2);
+  EXPECT_EQ(g.value(), 5);
+  g.set(-10);
+  EXPECT_EQ(g.value(), -10);
+}
+
+TEST(Registry, ResetDropsEverything) {
+  obs::Registry reg;
+  reg.counter("c").inc();
+  reg.gauge("g").set(1);
+  reg.reset();
+  EXPECT_EQ(reg.to_json(), R"({"counters":{},"gauges":{},"histograms":{}})");
+}
+
+TEST(Registry, ToJsonIsSortedByName) {
+  obs::Registry reg;
+  reg.counter("zeta").inc(2);
+  reg.counter("alpha").inc(1);
+  EXPECT_EQ(reg.to_json(),
+            R"({"counters":{"alpha":1,"zeta":2},"gauges":{},"histograms":{}})");
+}
+
+// ----------------------------------------------------------------- histogram
+
+TEST(Histogram, BucketEdgesAreInclusiveUpperBounds) {
+  obs::Registry reg;
+  const double bounds[] = {1.0, 2.0, 4.0};
+  auto& h = reg.histogram("h", bounds);
+  h.observe(0.5);  // bucket 0
+  h.observe(1.0);  // bucket 0: x <= bounds[0]
+  h.observe(1.5);  // bucket 1
+  h.observe(2.0);  // bucket 1
+  h.observe(4.0);  // bucket 2
+  h.observe(5.0);  // overflow
+  const auto snap = h.snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 2u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 6u);
+  EXPECT_DOUBLE_EQ(snap.sum, 14.0);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 5.0);
+}
+
+TEST(Histogram, BoundsFixedOnFirstRegistration) {
+  obs::Registry reg;
+  const double first[] = {1.0};
+  const double second[] = {10.0, 20.0};
+  auto& h = reg.histogram("h", first);
+  // Later registrations with different bounds return the existing instrument.
+  EXPECT_EQ(&reg.histogram("h", second), &h);
+  EXPECT_EQ(h.snapshot().bounds.size(), 1u);
+}
+
+// ---------------------------------------------------------------- json writer
+
+TEST(JsonWriter, EscapesAndNesting) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("s", std::string_view("a\"b\\c\n"));
+  w.key("list");
+  w.begin_array();
+  w.value(std::uint64_t{1});
+  w.value(true);
+  w.value(2.5);
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.take(), R"({"s":"a\"b\\c\n","list":[1,true,2.5]})");
+}
+
+TEST(JsonWriter, NanBecomesNull) {
+  obs::JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.end_array();
+  EXPECT_EQ(w.take(), "[null]");
+}
+
+// ---------------------------------------------------------------- log parsing
+
+TEST(Log, ParseLogLevel) {
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_FALSE(parse_log_level("verbose").has_value());
+}
+
+// ------------------------------------------------------------- disabled path
+
+harness::RunSpec small_spec(std::uint64_t seed) {
+  harness::RunSpec spec;
+  spec.params.n = 5;
+  spec.params.ts = 1;
+  spec.params.ta = 1;
+  spec.params.dim = 2;
+  spec.params.eps = 1e-2;
+  spec.params.delta = 1000;
+  spec.network = harness::Network::kSyncJitter;
+  spec.adversary = harness::Adversary::kSilent;
+  spec.corruptions = 1;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(Obs, DisabledRunTouchesNothing) {
+  ASSERT_FALSE(obs::enabled());
+  obs::Registry::global().reset();
+  const auto result = harness::execute(small_spec(3));
+  EXPECT_TRUE(result.verdict.d_aa());
+  // No instrument was registered, no per-round series recorded.
+  EXPECT_EQ(obs::Registry::global().to_json(),
+            R"({"counters":{},"gauges":{},"histograms":{}})");
+  EXPECT_TRUE(result.messages_per_round.empty());
+  EXPECT_FALSE(obs::enabled());
+}
+
+// ---------------------------------------------------------------- trace sink
+
+TEST(Obs, TraceIsDeterministicAcrossReruns) {
+  const std::string path_a = testing::TempDir() + "hydra_obs_a.jsonl";
+  const std::string path_b = testing::TempDir() + "hydra_obs_b.jsonl";
+
+  auto spec = small_spec(7);
+  spec.trace_out = path_a;
+  const auto first = harness::execute(spec);
+  spec.trace_out = path_b;
+  const auto second = harness::execute(spec);
+
+  // execute() restores the pre-run obs state.
+  EXPECT_FALSE(obs::enabled());
+  EXPECT_EQ(obs::trace(), nullptr);
+
+  const std::string a = slurp(path_a);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, slurp(path_b));
+
+  // The per-round series accounts for every message exactly once.
+  std::uint64_t messages = 0;
+  for (const auto m : first.messages_per_round) messages += m;
+  EXPECT_EQ(messages, first.messages);
+  std::uint64_t bytes = 0;
+  for (const auto b : first.bytes_per_round) bytes += b;
+  EXPECT_EQ(bytes, first.bytes);
+  EXPECT_EQ(first.messages, second.messages);
+
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(Obs, MetricsJsonIsWritten) {
+  const std::string path = testing::TempDir() + "hydra_obs_metrics.json";
+  auto spec = small_spec(5);
+  spec.metrics_out = path;
+  const auto result = harness::execute(spec);
+  EXPECT_TRUE(result.verdict.d_aa());
+
+  const std::string json = slurp(path);
+  ASSERT_FALSE(json.empty());
+  EXPECT_NE(json.find("\"per_round\""), std::string::npos);
+  EXPECT_NE(json.find("\"diameter_per_round\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim.messages\""), std::string::npos);
+  EXPECT_NE(json.find("\"aa.safe_area_us\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------------------------------- converter
+
+TEST(Convert, MapsEveryEventKind) {
+  std::istringstream in(
+      R"({"ev":"send","t":5,"from":1,"to":2,"tag":3,"a":0,"b":0,"kind":1,"bytes":9})"
+      "\n"
+      R"({"ev":"deliver","t":8,"from":1,"to":2,"tag":3,"a":0,"b":0,"kind":1,"bytes":9})"
+      "\n"
+      R"({"ev":"state","t":8,"party":2,"layer":"rbc","what":"echo","a":0,"b":0})"
+      "\n"
+      R"({"ev":"round_start","t":10,"party":0,"it":1})"
+      "\n"
+      R"({"ev":"round_end","t":20,"party":0,"it":1})"
+      "\n"
+      R"({"ev":"scalar","t":20,"party":0,"name":"diam","value":1.5})"
+      "\n"
+      R"({"ev":"log","level":2,"msg":"hello"})"
+      "\n"
+      "this line is not JSON\n");
+  std::ostringstream out;
+  EXPECT_EQ(obs::chrome_trace_from_jsonl(in, out), 7u);
+  const std::string chrome = out.str();
+  EXPECT_NE(chrome.find(R"("ph":"B")"), std::string::npos);
+  EXPECT_NE(chrome.find(R"("ph":"E")"), std::string::npos);
+  EXPECT_NE(chrome.find(R"("ph":"C")"), std::string::npos);
+  EXPECT_NE(chrome.find(R"("name":"rbc:echo")"), std::string::npos);
+  EXPECT_NE(chrome.find("thread_name"), std::string::npos);
+  // Balanced document: the array and object close.
+  EXPECT_EQ(chrome.back(), '}');
+}
+
+TEST(Convert, EmptyInputYieldsValidDocument) {
+  std::istringstream in("");
+  std::ostringstream out;
+  EXPECT_EQ(obs::chrome_trace_from_jsonl(in, out), 0u);
+  EXPECT_NE(out.str().find("traceEvents"), std::string::npos);
+}
+
+}  // namespace

@@ -14,14 +14,25 @@
 //   --corrupt 1 --workload ball|simplex|clustered|collinear|gaussian
 //   --scale 10 --seed 1 --seeds 20 --aggregation midpoint|centroid
 //
+// Observability (docs/OBSERVABILITY.md); both --key value and --key=value
+// spellings are accepted:
+//   --trace-out PATH      structured JSONL trace of the run
+//   --metrics-json PATH   metrics snapshot (per-round counts, registry dump)
+//   --log-level LEVEL     off|error|info|debug|trace (default error, so a
+//                         failing --trace-out/--metrics-json path is reported)
+// In sweep mode each seed writes PATH with a ".s<seed>" suffix before the
+// extension, so no seed overwrites another.
+//
 // Exit status: 0 when every executed run satisfied D-AA, 1 otherwise —
 // usable directly in scripts and CI.
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/log.hpp"
 #include "harness/runner.hpp"
 #include "harness/stats.hpp"
 #include "harness/table.hpp"
@@ -39,9 +50,10 @@ struct Options {
 [[noreturn]] void usage(const char* error = nullptr) {
   if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
   std::fprintf(stderr,
-               "usage: hydra <run|sweep|list> [--key value ...]\n"
+               "usage: hydra <run|sweep|list> [--key value | --key=value ...]\n"
                "keys: n ts ta dim eps delta protocol network adversary corrupt\n"
                "      workload scale seed seeds aggregation\n"
+               "      trace-out metrics-json log-level\n"
                "run `hydra list` for accepted values.\n");
   std::exit(2);
 }
@@ -54,9 +66,13 @@ void list_values() {
               "spam straggler turncoat mixed\n");
   std::printf("workload   : ball simplex clustered collinear gaussian\n");
   std::printf("aggregation: midpoint centroid\n");
+  std::printf("log-level  : off error info debug trace\n");
 }
 
 Options parse(int argc, char** argv) {
+  // The library default is kOff; the CLI surfaces errors unless silenced,
+  // so e.g. an unwritable --trace-out path never fails without a message.
+  set_log_level(LogLevel::kError);
   Options opts;
   auto& spec = opts.spec;
   spec.params.n = 5;
@@ -73,10 +89,17 @@ Options parse(int argc, char** argv) {
   spec.seed = 1;
 
   std::map<std::string, std::string> kv;
-  for (int i = 2; i < argc; i += 2) {
+  for (int i = 2; i < argc; ++i) {
     std::string key = argv[i];
-    if (key.rfind("--", 0) != 0 || i + 1 >= argc) usage("malformed options");
-    kv[key.substr(2)] = argv[i + 1];
+    if (key.rfind("--", 0) != 0) usage("malformed options");
+    key = key.substr(2);
+    // --key=value and --key value are both accepted.
+    if (const auto eq = key.find('='); eq != std::string::npos) {
+      kv[key.substr(0, eq)] = key.substr(eq + 1);
+    } else {
+      if (i + 1 >= argc) usage("malformed options");
+      kv[key] = argv[++i];
+    }
   }
 
   const auto num = [&](const char* key, auto fallback) {
@@ -114,6 +137,15 @@ Options parse(int argc, char** argv) {
     const auto w = parse_workload(it->second);
     if (!w) usage("unknown workload");
     spec.workload = *w;
+  }
+  if (const auto it = kv.find("trace-out"); it != kv.end()) spec.trace_out = it->second;
+  if (const auto it = kv.find("metrics-json"); it != kv.end()) {
+    spec.metrics_out = it->second;
+  }
+  if (const auto it = kv.find("log-level"); it != kv.end()) {
+    const auto level = parse_log_level(it->second);
+    if (!level) usage("unknown log-level");
+    set_log_level(*level);
   }
   if (const auto it = kv.find("aggregation"); it != kv.end()) {
     if (it->second == "centroid") {
@@ -154,6 +186,18 @@ int cmd_run(const Options& opts) {
   return result.verdict.d_aa() ? 0 : 1;
 }
 
+/// "t.jsonl" -> "t.s7.jsonl"; extensionless paths get the suffix appended.
+std::string with_seed_suffix(const std::string& path, std::uint64_t seed) {
+  if (path.empty()) return path;
+  const std::string suffix = ".s" + std::to_string(seed);
+  const auto dot = path.rfind('.');
+  const auto slash = path.find_last_of('/');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return path + suffix;
+  }
+  return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
 int cmd_sweep(Options opts) {
   std::size_t pass = 0;
   std::vector<std::uint64_t> failures;
@@ -161,8 +205,12 @@ int cmd_sweep(Options opts) {
   Stats messages;
   Stats diameters;
   Stats estimates;
+  const std::string trace_out = opts.spec.trace_out;
+  const std::string metrics_out = opts.spec.metrics_out;
   for (std::uint64_t s = 0; s < opts.seeds; ++s) {
     opts.spec.seed = s + 1;
+    opts.spec.trace_out = with_seed_suffix(trace_out, opts.spec.seed);
+    opts.spec.metrics_out = with_seed_suffix(metrics_out, opts.spec.seed);
     const auto result = execute(opts.spec);
     if (result.verdict.d_aa()) {
       ++pass;
@@ -178,9 +226,11 @@ int cmd_sweep(Options opts) {
               static_cast<unsigned long long>(opts.seeds));
 
   Table table({"metric", "mean", "min", "p50", "p95", "max"});
+  const auto nan = std::numeric_limits<double>::quiet_NaN();
   const auto row = [&](const char* name, const Stats& st) {
-    table.row({name, fmt(st.mean()), fmt(st.min()), fmt(st.percentile(50)),
-               fmt(st.percentile(95)), fmt(st.max())});
+    table.row({name, fmt(st.mean()), fmt(st.min()),
+               fmt(st.percentile(50).value_or(nan)),
+               fmt(st.percentile(95).value_or(nan)), fmt(st.max())});
   };
   row("rounds (Delta)", rounds);
   row("messages", messages);

@@ -1,0 +1,45 @@
+// trace_convert — JSONL trace to Chrome about://tracing format.
+//
+//   trace_convert IN.jsonl [OUT.json]
+//
+// OUT defaults to IN with a ".trace.json" extension. Open the result in
+// Chrome (about://tracing, "Load") or https://ui.perfetto.dev. The
+// conversion itself lives in obs/convert.hpp so tests can cover it.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "obs/convert.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr, "usage: trace_convert IN.jsonl [OUT.json]\n");
+    return 2;
+  }
+  const std::string in_path = argv[1];
+  std::string out_path;
+  if (argc == 3) {
+    out_path = argv[2];
+  } else {
+    out_path = in_path;
+    if (const auto dot = out_path.rfind('.'); dot != std::string::npos) {
+      out_path.resize(dot);
+    }
+    out_path += ".trace.json";
+  }
+
+  std::ifstream in(in_path);
+  if (!in) {
+    std::fprintf(stderr, "trace_convert: cannot read %s\n", in_path.c_str());
+    return 1;
+  }
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "trace_convert: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+
+  const std::size_t events = hydra::obs::chrome_trace_from_jsonl(in, out);
+  std::printf("%zu events -> %s\n", events, out_path.c_str());
+  return 0;
+}
