@@ -19,6 +19,7 @@
 
 #include "common/rng.hpp"
 #include "harness/runner.hpp"
+#include "harness/sweep.hpp"
 #include "harness/table.hpp"
 #include "protocols/aa_iteration.hpp"
 #include "protocols/codec.hpp"
@@ -160,6 +161,10 @@ int main() {
       {2, 5, 1, 1, Network::kAsyncExponential, Adversary::kNone, 0},
       {3, 6, 1, 1, Network::kAsyncExponential, Adversary::kOutlier, 1},
   };
+  // Full protocol runs are independent, so execute them on the parallel
+  // engine; results come back in input order.
+  std::vector<RunSpec> grid;
+  grid.reserve(runs.size());
   for (const auto& rc : runs) {
     RunSpec spec;
     spec.params.n = rc.n;
@@ -174,7 +179,12 @@ int main() {
     spec.adversary = rc.adversary;
     spec.corruptions = rc.corruptions;
     spec.seed = 11 * rc.n + rc.corruptions;
-    const auto result = execute(spec);
+    grid.push_back(std::move(spec));
+  }
+  const auto results = run_sweep(grid);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& rc = runs[i];
+    const auto& result = results[i];
     std::size_t collapse = result.iteration_diameters.size();
     for (std::size_t i = 0; i < result.iteration_diameters.size(); ++i) {
       if (result.iteration_diameters[i] <= 1e-12) {

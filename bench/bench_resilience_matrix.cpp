@@ -9,9 +9,12 @@
 // allowed (and expected) to fail, demonstrating the bound is tight in
 // practice, matching the Theorem 3.1/3.2 lower bounds.
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "harness/runner.hpp"
+#include "harness/sweep.hpp"
 #include "harness/table.hpp"
 
 using namespace hydra;
@@ -23,9 +26,11 @@ struct Row {
   std::size_t dim, n, ts, ta;
 };
 
-void run_block(const std::vector<Row>& rows, bool overload) {
-  Table table({"D", "n", "ts", "ta", "network", "adversary", "corrupt", "live",
-               "valid", "agree", "out-diam"});
+void run_block(const std::vector<Row>& rows, bool overload, std::size_t jobs) {
+  // Build the whole grid first, then execute it on the parallel engine; the
+  // table prints in input order regardless of completion order.
+  std::vector<RunSpec> grid;
+  std::vector<Row> grid_rows;
   for (const auto& r : rows) {
     protocols::Params p;
     p.n = r.n;
@@ -59,21 +64,44 @@ void run_block(const std::vector<Row>& rows, bool overload) {
       spec.adversary = cell.corruptions == 0 ? Adversary::kNone : cell.adversary;
       spec.corruptions = cell.corruptions;
       spec.seed = 7 * r.n + 13 * r.ts + r.ta + (overload ? 1000 : 0);
-      const auto result = execute(spec);
-      table.row({fmt(std::uint64_t{r.dim}), fmt(std::uint64_t{r.n}),
-                 fmt(std::uint64_t{r.ts}), fmt(std::uint64_t{r.ta}),
-                 to_string(cell.network), to_string(spec.adversary),
-                 fmt(std::uint64_t{cell.corruptions}), fmt_ok(result.verdict.live),
-                 fmt_ok(result.verdict.valid), fmt_ok(result.verdict.agreed),
-                 fmt(result.verdict.output_diameter)});
+      grid.push_back(std::move(spec));
+      grid_rows.push_back(r);
     }
+  }
+
+  const auto results = run_sweep(grid, jobs);
+
+  Table table({"D", "n", "ts", "ta", "network", "adversary", "corrupt", "live",
+               "valid", "agree", "out-diam"});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto& r = grid_rows[i];
+    const auto& spec = grid[i];
+    const auto& result = results[i];
+    table.row({fmt(std::uint64_t{r.dim}), fmt(std::uint64_t{r.n}),
+               fmt(std::uint64_t{r.ts}), fmt(std::uint64_t{r.ta}),
+               to_string(spec.network), to_string(spec.adversary),
+               fmt(std::uint64_t{spec.corruptions}), fmt_ok(result.verdict.live),
+               fmt_ok(result.verdict.valid), fmt_ok(result.verdict.agreed),
+               fmt(result.verdict.output_diameter)});
   }
   table.print();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::size_t jobs = 0;  // 0 = hardware concurrency
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      jobs = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = static_cast<std::size_t>(std::strtoull(arg.c_str() + 7, nullptr, 10));
+    } else {
+      std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
+      return 2;
+    }
+  }
   const std::vector<Row> rows{
       // D = 1 (n > 2 ts + ta and n > 3 ts for the Bracha substrate)
       {1, 4, 1, 0},
@@ -95,13 +123,13 @@ int main() {
   std::printf("(sync rows corrupt ts parties; async rows corrupt ta; "
               "'mixed' cycles silent/equivocator/outlier/halt-rusher/"
               "spammer/crash)\n\n");
-  run_block(rows, /*overload=*/false);
+  run_block(rows, /*overload=*/false, jobs);
 
   std::printf("\n== T1b: one corruption beyond the threshold — failures "
               "expected (bound is tight) ==\n");
   std::printf("(outlier attackers: validity violations surface as valid=NO; "
               "silent attackers: liveness loss)\n\n");
-  run_block(rows, /*overload=*/true);
+  run_block(rows, /*overload=*/true, jobs);
 
   std::printf("\nPaper prediction (Thm 5.19 + Thms 3.1/3.2): T1a all-pass; "
               "T1b shows violations at ts+1 / ta+1.\n");

@@ -136,10 +136,23 @@ void summary_json(obs::JsonWriter& w, std::string_view name,
   w.end_object();
 }
 
+/// The MH-style baseline runs the hybrid machinery at ta = ts. For specs
+/// where (D+1) ts + ts >= n that combination violates the feasibility
+/// condition even though the hybrid protocol itself is fine, and naively
+/// forcing ta = ts aborts deep inside AaParty. Use the largest ta the
+/// condition admits instead; specs with no feasible ta at all are rejected
+/// with an explicit message.
+std::size_t async_mh_ta(const Params& p) {
+  HYDRA_ASSERT_MSG(p.n > (p.dim + 1) * p.ts && p.n > 3 * p.ts,
+                   "async-mh baseline: no feasible ta exists for (n, ts, D); "
+                   "requires n > (D+1) ts and n > 3 ts");
+  return std::min(p.ts, p.n - (p.dim + 1) * p.ts - 1);
+}
+
 /// The per-run metrics snapshot: spec echo, verdict, totals, per-party and
 /// per-round communication, the diameter-contraction series (the empirical
 /// side of the paper's convergence lemmas), round-latency summary, and the
-/// full registry dump.
+/// run-registry dump.
 void write_metrics_json(const RunSpec& spec, const RunResult& result,
                         const Stats& round_latency) {
   obs::JsonWriter w;
@@ -208,8 +221,9 @@ void write_metrics_json(const RunSpec& spec, const RunResult& result,
 
   summary_json(w, "round_latency_delta", round_latency.summary());
 
+  // Under an installed per-run context this is the run's own registry.
   w.key("registry");
-  w.raw(obs::Registry::global().to_json());
+  w.raw(obs::registry().to_json());
 
   w.end_object();
 
@@ -224,42 +238,44 @@ void write_metrics_json(const RunSpec& spec, const RunResult& result,
   std::fclose(f);
 }
 
-/// RAII for the per-run observability session: installs the trace sink,
-/// flips the global enabled flag, and restores everything on scope exit so
-/// nested/subsequent runs (e.g. seed sweeps) start clean.
+/// RAII for the per-run observability session. Every run gets its OWN
+/// obs::Context — a private registry, the run's trace sink, and an isolated
+/// safe-area fallback counter — installed thread-locally for execute()'s
+/// duration. Concurrent runs (harness/sweep.hpp) therefore never share
+/// mutable observability state, and the process-wide Registry::global() /
+/// set_enabled() remain untouched for code outside the harness.
 class ObsSession {
  public:
   explicit ObsSession(const RunSpec& spec) {
     if (!spec.trace_out.empty()) {
       sink_ = std::make_unique<obs::TraceSink>(spec.trace_out);
-      if (!sink_->ok()) {
-        sink_.reset();
-      } else {
-        obs::set_trace(sink_.get());
-      }
+      if (!sink_->ok()) sink_.reset();
     }
-    active_ = sink_ != nullptr || !spec.metrics_out.empty();
-    if (active_) {
-      was_enabled_ = obs::enabled();
-      obs::Registry::global().reset();
-      obs::set_enabled(true);
-    }
+    ctx_.registry = &registry_;
+    ctx_.trace_sink = sink_.get();
+    ctx_.enabled = sink_ != nullptr || !spec.metrics_out.empty();
+    // Log lines emitted while this thread's context holds a sink should land
+    // in it (the hook resolves per-thread at emit time, so this is safe to
+    // install from concurrent sessions).
+    if (sink_ != nullptr) obs::install_log_hook();
+    scoped_.emplace(&ctx_);
   }
 
   ~ObsSession() {
-    if (sink_ != nullptr) {
-      sink_->flush();
-      obs::set_trace(nullptr);
-    }
-    if (active_ && !was_enabled_) obs::set_enabled(false);
+    scoped_.reset();  // restore the caller's context before the sink dies
+    if (sink_ != nullptr) sink_->flush();
   }
 
-  [[nodiscard]] bool active() const noexcept { return active_; }
+  [[nodiscard]] bool active() const noexcept { return ctx_.enabled; }
+  [[nodiscard]] std::uint64_t safe_area_fallbacks() const noexcept {
+    return ctx_.safe_area_fallbacks.load();
+  }
 
  private:
+  obs::Registry registry_;
   std::unique_ptr<obs::TraceSink> sink_;
-  bool active_ = false;
-  bool was_enabled_ = false;
+  obs::Context ctx_;
+  std::optional<obs::ScopedContext> scoped_;
 };
 
 }  // namespace
@@ -386,9 +402,11 @@ RunResult execute(const RunSpec& spec) {
         break;
       }
       case Protocol::kAsyncMh: {
-        // ts = ta = t: identical machinery, baseline thresholds.
+        // ts = ta = t: identical machinery, baseline thresholds — clamped to
+        // the largest feasible ta when ta = ts would violate
+        // (D+1) ts + ta < n (see async_mh_ta above).
         Params mh = p;
-        mh.ta = mh.ts;
+        mh.ta = async_mh_ta(p);
         auto party = std::make_unique<AaParty>(mh, inputs[id]);
         hybrid_parties.push_back(party.get());
         sim.add_party(std::move(party));
@@ -403,12 +421,12 @@ RunResult execute(const RunSpec& spec) {
     }
   }
 
-  const std::uint64_t fallbacks_before = protocols::safe_area_fallback_count();
   const auto stats = sim.run();
 
   RunResult result;
-  result.safe_area_fallbacks =
-      protocols::safe_area_fallback_count() - fallbacks_before;
+  // The session's context starts every run at zero, so no before/after
+  // bookkeeping (which raced under concurrent runs) is needed.
+  result.safe_area_fallbacks = obs_session.safe_area_fallbacks();
   for (const auto sent : stats.sent_per_party) {
     result.max_sent_by_party = std::max(result.max_sent_by_party, sent);
   }
@@ -464,7 +482,7 @@ RunResult execute(const RunSpec& spec) {
     Stats round_latency;
     static constexpr std::array<double, 7> kLatencyBounds{1.0, 2.0,  3.0, 5.0,
                                                           8.0, 13.0, 21.0};
-    auto& latency_hist = obs::Registry::global().histogram("aa.round_latency_delta",
+    auto& latency_hist = obs::registry().histogram("aa.round_latency_delta",
                                                            kLatencyBounds);
     for (const auto* party : hybrid_parties) {
       const auto& times = party->value_times();

@@ -73,8 +73,9 @@ struct RunSpec {
   Time max_time = 500'000'000;
 
   // Observability (docs/OBSERVABILITY.md). When either path is set, execute()
-  // turns obs::enabled() on for the run's duration and resets the global
-  // metrics registry first, so each run's snapshot stands alone.
+  // enables observability for the run's duration inside a per-run
+  // obs::Context with its own private registry, so each run's snapshot
+  // stands alone and concurrent runs (harness/sweep.hpp) never share state.
   std::string trace_out;    ///< JSONL structured trace ("" = no trace)
   std::string metrics_out;  ///< metrics JSON snapshot ("" = no export)
 };
@@ -96,9 +97,9 @@ struct RunResult {
   /// Honest per-iteration value diameters (index i = diameter of {v_i});
   /// truncated at the shortest honest history.
   std::vector<double> iteration_diameters;
-  /// Safe-area numerical fallbacks triggered during this run (see
-  /// protocols::safe_area_fallback_count) — nonzero values flag geometry
-  /// edge cases worth investigating.
+  /// Safe-area numerical fallbacks triggered during this run (counted in
+  /// the run's isolated obs::Context) — nonzero values flag geometry edge
+  /// cases worth investigating.
   std::uint64_t safe_area_fallbacks = 0;
   /// Messages sent by the busiest single party.
   std::uint64_t max_sent_by_party = 0;
@@ -110,7 +111,10 @@ struct RunResult {
   std::vector<std::uint64_t> bytes_per_round;
 };
 
-/// Executes one run on the discrete-event simulator.
+/// Executes one run on the discrete-event simulator. Thread-safe: every call
+/// installs an isolated per-run obs::Context, so independent specs may
+/// execute concurrently (harness/sweep.hpp) with results byte-identical to
+/// sequential execution per seed.
 [[nodiscard]] RunResult execute(const RunSpec& spec);
 
 }  // namespace hydra::harness

@@ -1,0 +1,114 @@
+// Per-run observability context.
+//
+// Every piece of formerly process-global run state — the metrics registry,
+// the trace sink, the enabled flag, and the safe-area fallback counter —
+// can be bundled into a Context and installed *per thread* with
+// ScopedContext. Instrumentation sites read through the accessors below
+// (obs::enabled(), obs::registry(), obs::trace()), which resolve to the
+// installed context when one is present and to the legacy process-wide
+// state otherwise. That keeps single-run CLI/test code working unchanged
+// (Registry::global() remains the default shim) while letting the parallel
+// sweep engine (harness/sweep.hpp) execute many runs concurrently, each
+// with fully isolated state.
+//
+// Threading contract: a Context is installed on one thread at a time via
+// ScopedContext; code that fans work out to helper threads (e.g.
+// transport::ThreadNetwork) re-installs the creating thread's context on
+// each helper. Context fields other than the atomic counters are written
+// only before installation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace hydra::obs {
+
+class Registry;
+class TraceSink;
+
+struct Context {
+  Registry* registry = nullptr;     ///< per-run registry; nullptr = global
+  TraceSink* trace_sink = nullptr;  ///< per-run trace sink; may be null
+  bool enabled = false;             ///< per-run master switch
+  /// Safe-area numerical fallbacks during this run. Counted even when
+  /// `enabled` is false (it is a correctness diagnostic, not a metric).
+  std::atomic<std::uint64_t> safe_area_fallbacks{0};
+};
+
+namespace detail {
+inline thread_local Context* t_context = nullptr;
+
+/// The *effective* enabled state for this thread — a cache of
+/// `t_context ? t_context->enabled : <process-wide flag>`, maintained by
+/// ScopedContext and set_enabled(). Folding both sources into one
+/// thread-local byte keeps obs::enabled() a single load; the disabled hot
+/// path is guarded by bench_obs_overhead (< 2% over uninstrumented).
+inline thread_local bool t_enabled = false;
+
+/// Legacy process-wide enabled flag, used when no context is installed.
+inline std::atomic<bool>& enabled_ref() noexcept {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+/// Legacy process-wide fallback counter (no context installed).
+inline std::atomic<std::uint64_t>& global_fallbacks_ref() noexcept {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+}  // namespace detail
+
+/// The context installed on the current thread, or nullptr.
+[[nodiscard]] inline Context* current_context() noexcept {
+  return detail::t_context;
+}
+
+/// Master switch. All instrumentation sites branch on this flag; when false
+/// they execute nothing else. With a context installed this is the context's
+/// enabled bool; otherwise the process-wide flag.
+[[nodiscard]] inline bool enabled() noexcept { return detail::t_enabled; }
+
+/// Sets the *process-wide* flag (contexts carry their own). Kept for
+/// single-run and ad-hoc use; the harness installs contexts instead. The
+/// change is visible immediately on the calling thread and on any thread
+/// that subsequently installs a ScopedContext (transport::ThreadNetwork
+/// workers do); it is not broadcast to other already-running threads.
+inline void set_enabled(bool on) noexcept {
+  detail::enabled_ref().store(on, std::memory_order_relaxed);
+  const Context* ctx = detail::t_context;
+  detail::t_enabled = ctx != nullptr ? ctx->enabled : on;
+}
+
+/// The run-scoped safe-area fallback counter: the installed context's slot,
+/// or the process-wide one.
+[[nodiscard]] inline std::atomic<std::uint64_t>& safe_area_fallback_slot() noexcept {
+  Context* ctx = detail::t_context;
+  return ctx != nullptr ? ctx->safe_area_fallbacks : detail::global_fallbacks_ref();
+}
+
+/// Installs `ctx` on this thread for the enclosing scope (nullptr =
+/// temporarily restore the legacy global state). Restores the previously
+/// installed context on destruction.
+class ScopedContext {
+ public:
+  explicit ScopedContext(Context* ctx) noexcept
+      : prev_(detail::t_context), prev_enabled_(detail::t_enabled) {
+    detail::t_context = ctx;
+    detail::t_enabled = ctx != nullptr
+                            ? ctx->enabled
+                            : detail::enabled_ref().load(std::memory_order_relaxed);
+  }
+  ~ScopedContext() {
+    detail::t_context = prev_;
+    detail::t_enabled = prev_enabled_;
+  }
+
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  Context* prev_;
+  bool prev_enabled_;
+};
+
+}  // namespace hydra::obs

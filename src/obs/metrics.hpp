@@ -26,24 +26,9 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/context.hpp"  // enabled()/set_enabled() and per-run contexts
+
 namespace hydra::obs {
-
-/// Master switch. All instrumentation sites branch on this flag; when false
-/// they execute nothing else. Checked with a relaxed load: instrumentation
-/// does not need to synchronize with the flag writer.
-namespace detail {
-inline std::atomic<bool>& enabled_ref() noexcept {
-  static std::atomic<bool> flag{false};
-  return flag;
-}
-}  // namespace detail
-
-[[nodiscard]] inline bool enabled() noexcept {
-  return detail::enabled_ref().load(std::memory_order_relaxed);
-}
-inline void set_enabled(bool on) noexcept {
-  detail::enabled_ref().store(on, std::memory_order_relaxed);
-}
 
 /// Monotonically increasing count.
 class Counter {
@@ -103,8 +88,10 @@ class Histogram {
   double max_ = 0.0;
 };
 
-/// Name -> instrument map. One process-wide instance (global()) is shared by
-/// every layer; tests may construct private registries.
+/// Name -> instrument map. Instrumentation sites reach their registry via
+/// obs::registry(), which resolves to the current run's Context when one is
+/// installed and to the process-wide instance (global()) otherwise; tests
+/// may construct private registries.
 class Registry {
  public:
   /// Find-or-create. The reference is stable until reset().
@@ -131,5 +118,13 @@ class Registry {
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
+
+/// The registry instrumentation should write to: the current context's when
+/// one is installed on this thread, the process-wide one otherwise.
+[[nodiscard]] inline Registry& registry() {
+  Context* ctx = current_context();
+  return ctx != nullptr && ctx->registry != nullptr ? *ctx->registry
+                                                    : Registry::global();
+}
 
 }  // namespace hydra::obs

@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "common/log.hpp"
+#include "obs/context.hpp"
 #include "obs/json.hpp"
 
 namespace hydra::obs {
@@ -10,8 +11,11 @@ namespace {
 
 std::atomic<TraceSink*> g_trace{nullptr};
 
+// Resolves through trace() so log lines land in the emitting thread's
+// per-run sink when a context is installed, and in the global sink
+// otherwise.
 void log_to_trace(LogLevel level, const char* msg) {
-  if (TraceSink* sink = g_trace.load(std::memory_order_acquire)) {
+  if (TraceSink* sink = trace()) {
     sink->log(static_cast<int>(level), msg);
   }
 }
@@ -138,6 +142,11 @@ void set_trace(TraceSink* sink) noexcept {
   set_log_sink(sink != nullptr ? &log_to_trace : nullptr);
 }
 
-TraceSink* trace() noexcept { return g_trace.load(std::memory_order_acquire); }
+TraceSink* trace() noexcept {
+  if (Context* ctx = current_context()) return ctx->trace_sink;
+  return g_trace.load(std::memory_order_acquire);
+}
+
+void install_log_hook() noexcept { set_log_sink(&log_to_trace); }
 
 }  // namespace hydra::obs

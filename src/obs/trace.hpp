@@ -79,10 +79,18 @@ class TraceSink {
 };
 
 /// Installs (or, with nullptr, uninstalls) the process-wide sink and hooks
-/// the logger into it. The sink must outlive its installation.
+/// the logger into it. The sink must outlive its installation. Per-run code
+/// should prefer an obs::Context (context.hpp) over this global.
 void set_trace(TraceSink* sink) noexcept;
 
-/// The currently installed sink, or nullptr.
+/// The sink the current thread should emit to: the installed obs::Context's
+/// sink when a context is present (possibly nullptr — contexts never fall
+/// through to the global sink), the process-wide sink otherwise.
 [[nodiscard]] TraceSink* trace() noexcept;
+
+/// Routes HYDRA_LOG lines into whatever sink trace() resolves to at emit
+/// time. Idempotent; set_trace() installs it automatically, per-run
+/// sessions with a context-held sink call it explicitly.
+void install_log_hook() noexcept;
 
 }  // namespace hydra::obs

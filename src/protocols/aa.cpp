@@ -131,7 +131,7 @@ void AaParty::on_init_output(Env& env, const InitInstance::Output& out) {
   it_ = 1;
   iter_start_ = env.now();
   if (obs::enabled()) {
-    obs::Registry::global().counter("aa.round_start").inc();
+    obs::registry().counter("aa.round_start").inc();
     if (auto* tr = obs::trace()) tr->round_start(env.now(), env.self(), 1);
   }
   obc(1).start(env, out.v0);
@@ -172,7 +172,7 @@ void AaParty::advance(Env& env) {
       output_iter_ = it_h;
       output_time_ = env.now();
       if (obs::enabled()) {
-        obs::Registry::global().counter("aa.output").inc();
+        obs::registry().counter("aa.output").inc();
         if (auto* tr = obs::trace()) {
           tr->state(env.now(), env.self(), "aa", "output", 0, it_h);
         }
@@ -190,7 +190,7 @@ void AaParty::advance(Env& env) {
     values_.push_back(v_it);
     value_times_.push_back(env.now());
     if (obs::enabled()) {
-      obs::Registry::global().counter("aa.round_end").inc();
+      obs::registry().counter("aa.round_end").inc();
       if (auto* tr = obs::trace()) tr->round_end(env.now(), env.self(), it_);
     }
 
@@ -198,7 +198,7 @@ void AaParty::advance(Env& env) {
     if (!sent_halt_ && it_ == big_t_) {
       sent_halt_ = true;
       if (obs::enabled()) {
-        obs::Registry::global().counter("aa.halt_sent").inc();
+        obs::registry().counter("aa.halt_sent").inc();
         if (auto* tr = obs::trace()) {
           tr->state(env.now(), env.self(), "aa", "halt", 0, it_);
         }
@@ -210,7 +210,7 @@ void AaParty::advance(Env& env) {
     it_ += 1;
     iter_start_ = env.now();
     if (obs::enabled()) {
-      obs::Registry::global().counter("aa.round_start").inc();
+      obs::registry().counter("aa.round_start").inc();
       if (auto* tr = obs::trace()) tr->round_start(env.now(), env.self(), it_);
     }
     obc(it_).start(env, v_it);

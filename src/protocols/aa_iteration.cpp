@@ -9,17 +9,19 @@
 #include "common/combinatorics.hpp"
 #include "geometry/convex.hpp"
 #include "geometry/safe_area.hpp"
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 
 namespace hydra::protocols {
 namespace {
 
-std::atomic<std::uint64_t> g_fallbacks{0};
-
+// The fallback count lives in the run's obs::Context when one is installed
+// (parallel sweeps run many isolated counters at once) and in a process-wide
+// slot otherwise.
 void note_fallback() {
-  g_fallbacks.fetch_add(1);
+  obs::safe_area_fallback_slot().fetch_add(1);
   if (obs::enabled()) {
-    obs::Registry::global().counter("aa.safe_area_fallbacks").inc();
+    obs::registry().counter("aa.safe_area_fallbacks").inc();
   }
 }
 
@@ -27,14 +29,16 @@ geo::Vec compute_new_value_impl(const Params& params, const PairList& m);
 
 }  // namespace
 
-std::uint64_t safe_area_fallback_count() noexcept { return g_fallbacks.load(); }
+std::uint64_t safe_area_fallback_count() noexcept {
+  return obs::safe_area_fallback_slot().load();
+}
 
 geo::Vec compute_new_value(const Params& params, const PairList& m) {
   if (!obs::enabled()) return compute_new_value_impl(params, m);
   // Wall-clock timing of the geometry kernel. This is observability-only
   // data: it never feeds back into protocol decisions, so determinism of the
   // run (and of the trace, which carries virtual time only) is preserved.
-  auto& registry = obs::Registry::global();
+  auto& registry = obs::registry();
   registry.counter("aa.safe_area_calls").inc();
   const auto t0 = std::chrono::steady_clock::now();
   geo::Vec v = compute_new_value_impl(params, m);

@@ -15,7 +15,7 @@ namespace {
 
 void note_transition(const Env& env, const char* what) {
   if (!obs::enabled()) return;
-  obs::Registry::global().counter(std::string("init.") + what).inc();
+  obs::registry().counter(std::string("init.") + what).inc();
   if (auto* tr = obs::trace()) {
     tr->state(env.now(), env.self(), "init", what, 0, 0);
   }

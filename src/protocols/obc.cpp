@@ -12,7 +12,7 @@ namespace {
 
 void note_transition(const Env& env, std::uint32_t iteration, const char* what) {
   if (!obs::enabled()) return;
-  obs::Registry::global().counter(std::string("obc.") + what).inc();
+  obs::registry().counter(std::string("obc.") + what).inc();
   if (auto* tr = obs::trace()) {
     tr->state(env.now(), env.self(), "obc", what, 0, iteration);
   }

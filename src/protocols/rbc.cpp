@@ -12,7 +12,7 @@ namespace {
 /// Trace/metrics hook for RBC state transitions (send/echo/ready/deliver).
 void note_transition(const Env& env, const InstanceKey& key, const char* what) {
   if (!obs::enabled()) return;
-  obs::Registry::global().counter(std::string("rbc.") + what).inc();
+  obs::registry().counter(std::string("rbc.") + what).inc();
   if (auto* tr = obs::trace()) {
     tr->state(env.now(), env.self(), "rbc", what, key.a, key.b);
   }

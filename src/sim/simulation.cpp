@@ -69,7 +69,7 @@ void Simulation::schedule_phase(Time at, Phase phase, std::function<void()> fn) 
 
 void Simulation::record_send(PartyId from, PartyId to, const Message& msg,
                              Duration delay) {
-  auto& registry = obs::Registry::global();
+  auto& registry = obs::registry();
   registry.counter("sim.messages").inc();
   registry.counter("sim.bytes").inc(msg.wire_size());
   if (config_.delta > 0) {
@@ -140,7 +140,7 @@ SimStats Simulation::run() {
 
   stats_.end_time = now_;
   if (obs::enabled()) {
-    obs::Registry::global().counter("sim.events").inc(stats_.events);
+    obs::registry().counter("sim.events").inc(stats_.events);
   }
   return stats_;
 }

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -154,26 +155,28 @@ void ThreadNetwork::post(PartyId from, PartyId to, sim::Message msg) {
   HYDRA_ASSERT(to < config_.n);
   messages_.fetch_add(1, std::memory_order_relaxed);
   bytes_.fetch_add(msg.wire_size(), std::memory_order_relaxed);
-  static std::atomic<std::uint64_t> seq{0};
+  // One timestamp for the whole post: computing the delay against one sample
+  // and stamping `due` with a later one would stretch delivery times by the
+  // (lock-contended) gap between the two reads.
+  const Time now = now_ticks();
   Duration d = 0;
   if (from != to) {
     const std::lock_guard lock(delay_mutex_);
-    d = delay_model_->delay(from, to, now_ticks(), msg, delay_rng_);
+    d = delay_model_->delay(from, to, now, msg, delay_rng_);
   }
   if (obs::enabled()) {
-    auto& registry = obs::Registry::global();
+    auto& registry = obs::registry();
     registry.counter("net.messages").inc();
     registry.counter("net.bytes").inc(msg.wire_size());
     // Wall-clock-driven tick stamps: thread-transport traces are NOT
     // deterministic across runs (unlike simulator traces).
     if (auto* tr = obs::trace()) {
-      tr->message_send(now_ticks(), from, to, msg.key.tag, msg.key.a, msg.key.b,
+      tr->message_send(now, from, to, msg.key.tag, msg.key.a, msg.key.b,
                        msg.kind, msg.wire_size());
     }
   }
-  mailboxes_[to]->push(Mailbox::Item{now_ticks() + d,
-                                     seq.fetch_add(1, std::memory_order_relaxed), from,
-                                     std::move(msg)});
+  mailboxes_[to]->push(Mailbox::Item{
+      now + d, seq_.fetch_add(1, std::memory_order_relaxed), from, std::move(msg)});
 }
 
 ThreadNetStats ThreadNetwork::run(
@@ -185,7 +188,13 @@ ThreadNetStats ThreadNetwork::run(
   std::atomic<std::size_t> done_count{0};
   std::atomic<bool> stop{false};
 
-  auto worker = [&](PartyId id) {
+  // Party threads inherit the launching thread's observability context, so a
+  // network run from inside a per-run session keeps writing to that run's
+  // registry/trace instead of the globals.
+  obs::Context* obs_ctx = obs::current_context();
+
+  auto worker = [&, obs_ctx](PartyId id) {
+    const obs::ScopedContext obs_scope(obs_ctx);
     ThreadEnv env(this, id);
     sim::IParty& party = *parties[id];
     party.start(env);

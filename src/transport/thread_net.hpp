@@ -81,6 +81,10 @@ class ThreadNetwork {
 
   std::atomic<std::uint64_t> messages_{0};
   std::atomic<std::uint64_t> bytes_{0};
+  /// Mailbox tie-break sequence. Per-network (NOT function-static in post):
+  /// a shared counter would leak tie-break ordering between concurrently
+  /// running networks and break run isolation.
+  std::atomic<std::uint64_t> seq_{0};
 
   [[nodiscard]] Time now_ticks() const;
   [[nodiscard]] std::chrono::steady_clock::time_point tick_deadline(Time at) const;

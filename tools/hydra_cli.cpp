@@ -1,7 +1,8 @@
 // hydra — command-line driver for single runs and seed sweeps.
 //
 //   hydra run   [options]     execute one run, print the verdict and metrics
-//   hydra sweep [options]     execute --seeds runs, print the pass rate
+//   hydra sweep [options]     execute --seeds runs (in parallel), print the
+//                             pass rate
 //   hydra list                print the accepted option values
 //
 // Options (with defaults):
@@ -13,6 +14,14 @@
 //               straggler|turncoat|mixed
 //   --corrupt 1 --workload ball|simplex|clustered|collinear|gaussian
 //   --scale 10 --seed 1 --seeds 20 --aggregation midpoint|centroid
+//
+// Sweep parallelism (docs/OBSERVABILITY.md "Parallel sweeps"):
+//   --jobs N              worker threads for sweep mode (0 = one per
+//                         hardware thread, the default); every run executes
+//                         in an isolated context, so results and per-seed
+//                         output files are identical for any --jobs value
+//   --sweep-json PATH     merged sweep summary (per-cell aggregates +
+//                         failure list)
 //
 // Observability (docs/OBSERVABILITY.md); both --key value and --key=value
 // spellings are accepted:
@@ -35,6 +44,7 @@
 #include "common/log.hpp"
 #include "harness/runner.hpp"
 #include "harness/stats.hpp"
+#include "harness/sweep.hpp"
 #include "harness/table.hpp"
 
 using namespace hydra;
@@ -45,6 +55,8 @@ namespace {
 struct Options {
   RunSpec spec;
   std::uint64_t seeds = 20;
+  std::size_t jobs = 0;  ///< sweep workers; 0 = hardware concurrency
+  std::string sweep_json;
 };
 
 [[noreturn]] void usage(const char* error = nullptr) {
@@ -52,7 +64,7 @@ struct Options {
   std::fprintf(stderr,
                "usage: hydra <run|sweep|list> [--key value | --key=value ...]\n"
                "keys: n ts ta dim eps delta protocol network adversary corrupt\n"
-               "      workload scale seed seeds aggregation\n"
+               "      workload scale seed seeds aggregation jobs sweep-json\n"
                "      trace-out metrics-json log-level\n"
                "run `hydra list` for accepted values.\n");
   std::exit(2);
@@ -117,6 +129,7 @@ Options parse(int argc, char** argv) {
   spec.workload_scale = num("scale", spec.workload_scale);
   spec.seed = num("seed", spec.seed);
   opts.seeds = num("seeds", opts.seeds);
+  opts.jobs = num("jobs", opts.jobs);
 
   if (const auto it = kv.find("protocol"); it != kv.end()) {
     const auto p = parse_protocol(it->second);
@@ -141,6 +154,9 @@ Options parse(int argc, char** argv) {
   if (const auto it = kv.find("trace-out"); it != kv.end()) spec.trace_out = it->second;
   if (const auto it = kv.find("metrics-json"); it != kv.end()) {
     spec.metrics_out = it->second;
+  }
+  if (const auto it = kv.find("sweep-json"); it != kv.end()) {
+    opts.sweep_json = it->second;
   }
   if (const auto it = kv.find("log-level"); it != kv.end()) {
     const auto level = parse_log_level(it->second);
@@ -198,32 +214,42 @@ std::string with_seed_suffix(const std::string& path, std::uint64_t seed) {
   return path.substr(0, dot) + suffix + path.substr(dot);
 }
 
-int cmd_sweep(Options opts) {
+int cmd_sweep(const Options& opts) {
+  // One spec per seed; per-seed output paths keep runs from clobbering each
+  // other whatever order the pool finishes them in.
+  std::vector<RunSpec> grid;
+  grid.reserve(opts.seeds);
+  for (std::uint64_t s = 0; s < opts.seeds; ++s) {
+    RunSpec spec = opts.spec;
+    spec.seed = s + 1;
+    spec.trace_out = with_seed_suffix(opts.spec.trace_out, spec.seed);
+    spec.metrics_out = with_seed_suffix(opts.spec.metrics_out, spec.seed);
+    grid.push_back(std::move(spec));
+  }
+
+  const auto results = run_sweep(grid, opts.jobs);
+
   std::size_t pass = 0;
   std::vector<std::uint64_t> failures;
   Stats rounds;
   Stats messages;
   Stats diameters;
   Stats estimates;
-  const std::string trace_out = opts.spec.trace_out;
-  const std::string metrics_out = opts.spec.metrics_out;
-  for (std::uint64_t s = 0; s < opts.seeds; ++s) {
-    opts.spec.seed = s + 1;
-    opts.spec.trace_out = with_seed_suffix(trace_out, opts.spec.seed);
-    opts.spec.metrics_out = with_seed_suffix(metrics_out, opts.spec.seed);
-    const auto result = execute(opts.spec);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& result = results[i];
     if (result.verdict.d_aa()) {
       ++pass;
     } else {
-      failures.push_back(s + 1);
+      failures.push_back(grid[i].seed);
     }
     rounds.add(result.rounds);
     messages.add(static_cast<double>(result.messages));
     diameters.add(result.verdict.output_diameter);
     estimates.add(static_cast<double>(result.min_estimate));
   }
-  std::printf("%zu/%llu runs satisfied D-AA\n\n", pass,
-              static_cast<unsigned long long>(opts.seeds));
+  std::printf("%zu/%llu runs satisfied D-AA (%zu jobs)\n\n", pass,
+              static_cast<unsigned long long>(opts.seeds),
+              resolve_jobs(opts.jobs));
 
   Table table({"metric", "mean", "min", "p50", "p95", "max"});
   const auto nan = std::numeric_limits<double>::quiet_NaN();
@@ -242,6 +268,10 @@ int cmd_sweep(Options opts) {
     std::printf("\nfailing seeds:");
     for (auto s : failures) std::printf(" %llu", static_cast<unsigned long long>(s));
     std::printf("\n");
+  }
+  if (!opts.sweep_json.empty() &&
+      !write_sweep_summary_json(opts.sweep_json, grid, results, opts.jobs)) {
+    return 1;
   }
   return failures.empty() ? 0 : 1;
 }
