@@ -4,6 +4,8 @@
 
 #include "common/assert.hpp"
 #include "geometry/safe_area.hpp"
+#include "obs/context.hpp"
+#include "obs/monitor.hpp"
 #include "protocols/keys.hpp"
 
 namespace hydra::baselines {
@@ -24,6 +26,11 @@ SyncLockstepParty::SyncLockstepParty(SyncLockstepConfig config, geo::Vec input)
 
 void SyncLockstepParty::start(sim::Env& env) {
   history_.push_back(value_);
+  if (obs::enabled()) {
+    if (auto* mon = obs::monitors()) {
+      mon->on_value(env.now(), env.self(), 0, value_);
+    }
+  }
   send_round(env);
 }
 
@@ -74,6 +81,12 @@ void SyncLockstepParty::close_round(sim::Env& env) {
   }
   received_.erase(round_);
   history_.push_back(value_);
+  if (obs::enabled()) {
+    if (auto* mon = obs::monitors()) {
+      mon->on_value(env.now(), env.self(), static_cast<std::uint32_t>(round_ + 1),
+                    value_);
+    }
+  }
 
   round_ += 1;
   if (round_ >= config_.rounds) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <set>
@@ -221,6 +222,13 @@ void write_metrics_json(const RunSpec& spec, const RunResult& result,
 
   summary_json(w, "round_latency_delta", round_latency.summary());
 
+  w.key("monitor");
+  w.begin_object();
+  w.kv("mode", obs::to_string(spec.monitors));
+  w.kv("violations", result.monitor_violations);
+  w.kv("aborted", result.monitor_aborted);
+  w.end_object();
+
   // Under an installed per-run context this is the run's own registry.
   w.key("registry");
   w.raw(obs::registry().to_json());
@@ -246,14 +254,20 @@ void write_metrics_json(const RunSpec& spec, const RunResult& result,
 /// set_enabled() remain untouched for code outside the harness.
 class ObsSession {
  public:
-  explicit ObsSession(const RunSpec& spec) {
+  ObsSession(const RunSpec& spec,
+             std::optional<obs::MonitorHost::Config> monitor_config) {
     if (!spec.trace_out.empty()) {
       sink_ = std::make_unique<obs::TraceSink>(spec.trace_out);
       if (!sink_->ok()) sink_.reset();
     }
+    if (monitor_config.has_value()) {
+      monitors_ = std::make_unique<obs::MonitorHost>(std::move(*monitor_config));
+    }
     ctx_.registry = &registry_;
     ctx_.trace_sink = sink_.get();
-    ctx_.enabled = sink_ != nullptr || !spec.metrics_out.empty();
+    ctx_.monitors = monitors_.get();
+    ctx_.enabled =
+        sink_ != nullptr || !spec.metrics_out.empty() || monitors_ != nullptr;
     // Log lines emitted while this thread's context holds a sink should land
     // in it (the hook resolves per-thread at emit time, so this is safe to
     // install from concurrent sessions).
@@ -267,6 +281,9 @@ class ObsSession {
   }
 
   [[nodiscard]] bool active() const noexcept { return ctx_.enabled; }
+  [[nodiscard]] obs::MonitorHost* monitors() const noexcept {
+    return monitors_.get();
+  }
   [[nodiscard]] std::uint64_t safe_area_fallbacks() const noexcept {
     return ctx_.safe_area_fallbacks.load();
   }
@@ -274,9 +291,48 @@ class ObsSession {
  private:
   obs::Registry registry_;
   std::unique_ptr<obs::TraceSink> sink_;
+  std::unique_ptr<obs::MonitorHost> monitors_;
   obs::Context ctx_;
   std::optional<obs::ScopedContext> scoped_;
 };
+
+/// Assembles the MonitorHost configuration for a spec, or nullopt when
+/// monitors are off. Which monitors arm depends on the spec:
+///  - contraction only for the paper's midpoint rule on the hybrid stack
+///    (Lemma 5.10 proves sqrt(7/8) there; the centroid ablation and the
+///    lock-step baseline have no proven factor);
+///  - the complexity budget only under adversaries that follow the honest
+///    message schedule — a spammer or equivocator can open extra protocol
+///    instances that honest parties must echo, legitimately inflating
+///    honest counts beyond the structural bound.
+std::optional<obs::MonitorHost::Config> make_monitor_config(
+    const RunSpec& spec, const std::vector<bool>& honest,
+    std::vector<geo::Vec> honest_inputs) {
+  if (spec.monitors == obs::MonitorMode::kOff) return std::nullopt;
+  const Params& p = spec.params;
+  obs::MonitorHost::Config cfg;
+  cfg.mode = spec.monitors;
+  cfg.n = p.n;
+  cfg.ts = p.ts;
+  cfg.ta = spec.protocol == Protocol::kAsyncMh ? async_mh_ta(p) : p.ta;
+  cfg.dim = p.dim;
+  cfg.eps = p.eps;
+  cfg.honest = honest;
+  cfg.honest_inputs = std::move(honest_inputs);
+  if (spec.protocol != Protocol::kSyncLockstep &&
+      p.aggregation == protocols::Aggregation::kDiameterMidpoint) {
+    cfg.contraction_factor = std::sqrt(7.0 / 8.0);
+  }
+  const bool schedule_bound_adversary =
+      spec.adversary == Adversary::kNone || spec.adversary == Adversary::kSilent ||
+      spec.adversary == Adversary::kCrash || spec.adversary == Adversary::kOutlier;
+  if (schedule_bound_adversary) {
+    cfg.budget = spec.protocol == Protocol::kSyncLockstep
+                     ? obs::lockstep_complexity_budget(p.n, p.dim)
+                     : obs::hybrid_complexity_budget(p.n, p.dim);
+  }
+  return cfg;
+}
 
 }  // namespace
 
@@ -363,10 +419,21 @@ RunResult execute(const RunSpec& spec) {
   const Params& p = spec.params;
   HYDRA_ASSERT(spec.corruptions < p.n);
 
-  const ObsSession obs_session(spec);
-
+  // Inputs and the honest mask are pure functions of the spec; computing
+  // them before the session starts lets the monitor config see the honest
+  // inputs without emitting any observability events.
   const auto inputs =
       make_inputs(spec.workload, p.n, p.dim, spec.workload_scale, spec.seed);
+  std::vector<bool> honest_mask(p.n, true);
+  std::vector<geo::Vec> honest_inputs;
+  for (PartyId id = 0; id < p.n; ++id) {
+    const bool corrupt = id < spec.corruptions && spec.adversary != Adversary::kNone;
+    honest_mask[id] = !corrupt;
+    if (!corrupt) honest_inputs.push_back(inputs[id]);
+  }
+
+  const ObsSession obs_session(spec,
+                               make_monitor_config(spec, honest_mask, honest_inputs));
 
   sim::Simulation sim(
       sim::SimConfig{
@@ -385,15 +452,12 @@ RunResult execute(const RunSpec& spec) {
 
   std::vector<const AaParty*> hybrid_parties;
   std::vector<const baselines::SyncLockstepParty*> lockstep_parties;
-  std::vector<geo::Vec> honest_inputs;
 
   for (PartyId id = 0; id < p.n; ++id) {
-    const bool corrupt = id < spec.corruptions && spec.adversary != Adversary::kNone;
-    if (corrupt) {
+    if (!honest_mask[id]) {
       sim.add_party(make_byzantine(spec.adversary, spec, id, inputs[id], 0x9e3779b9));
       continue;
     }
-    honest_inputs.push_back(inputs[id]);
     switch (spec.protocol) {
       case Protocol::kHybrid: {
         auto party = std::make_unique<AaParty>(p, inputs[id]);
@@ -424,6 +488,14 @@ RunResult execute(const RunSpec& spec) {
   const auto stats = sim.run();
 
   RunResult result;
+  result.monitor_aborted = stats.monitor_aborted;
+  if (auto* mon = obs_session.monitors()) {
+    // Totality can only be judged once the queue drained: a truncated run
+    // (limit or strict abort) legitimately leaves undelivered instances.
+    mon->finalize(stats.end_time, !stats.hit_limit && !stats.monitor_aborted);
+    result.violations = mon->violations();
+    result.monitor_violations = mon->total_violations();
+  }
   // The session's context starts every run at zero, so no before/after
   // bookkeeping (which raced under concurrent runs) is needed.
   result.safe_area_fallbacks = obs_session.safe_area_fallbacks();

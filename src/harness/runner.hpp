@@ -11,6 +11,7 @@
 
 #include "harness/oracles.hpp"
 #include "harness/workloads.hpp"
+#include "obs/monitor.hpp"
 #include "protocols/params.hpp"
 
 namespace hydra::harness {
@@ -78,6 +79,12 @@ struct RunSpec {
   // stands alone and concurrent runs (harness/sweep.hpp) never share state.
   std::string trace_out;    ///< JSONL structured trace ("" = no trace)
   std::string metrics_out;  ///< metrics JSON snapshot ("" = no export)
+
+  /// Online invariant monitors (obs/monitor.hpp; docs/OBSERVABILITY.md).
+  /// kRecord checks the paper's per-round invariants live and records
+  /// violations in RunResult; kStrict additionally aborts the run on the
+  /// first violation. Any non-kOff mode enables observability for the run.
+  obs::MonitorMode monitors = obs::MonitorMode::kOff;
 };
 
 struct RunResult {
@@ -109,6 +116,12 @@ struct RunResult {
   /// executed with observability enabled (trace_out/metrics_out set).
   std::vector<std::uint64_t> messages_per_round;
   std::vector<std::uint64_t> bytes_per_round;
+  /// Invariant-monitor results (empty/zero/false when RunSpec::monitors was
+  /// kOff). `violations` is capped (MonitorHost); `monitor_violations` is
+  /// the uncapped total.
+  std::vector<obs::Violation> violations;
+  std::uint64_t monitor_violations = 0;
+  bool monitor_aborted = false;  ///< strict mode stopped the run early
 };
 
 /// Executes one run on the discrete-event simulator. Thread-safe: every call

@@ -160,6 +160,9 @@ bool write_sweep_summary_json(const std::string& path,
   std::size_t passed = 0;
   for (const auto& cell : cells) passed += cell.passed;
   w.kv("passed", std::uint64_t{passed});
+  std::uint64_t total_monitor_violations = 0;
+  for (const auto& r : results) total_monitor_violations += r.monitor_violations;
+  w.kv("monitor_violations", total_monitor_violations);
 
   w.key("cells");
   w.begin_array();
@@ -187,6 +190,8 @@ bool write_sweep_summary_json(const std::string& path,
     Stats diameters;
     std::uint64_t fallbacks = 0;
     std::uint64_t hit_limit = 0;
+    std::uint64_t monitor_violations = 0;
+    std::uint64_t monitor_aborted = 0;
     for (const auto index : cell.indices) {
       const auto& r = results[index];
       rounds.add(r.rounds);
@@ -194,6 +199,8 @@ bool write_sweep_summary_json(const std::string& path,
       diameters.add(r.verdict.output_diameter);
       fallbacks += r.safe_area_fallbacks;
       hit_limit += r.hit_limit ? 1 : 0;
+      monitor_violations += r.monitor_violations;
+      monitor_aborted += r.monitor_aborted ? 1 : 0;
     }
     w.kv("runs", std::uint64_t{cell.indices.size()});
     w.kv("passed", std::uint64_t{cell.passed});
@@ -206,6 +213,8 @@ bool write_sweep_summary_json(const std::string& path,
     stats_json(w, "output_diameter", diameters);
     w.kv("safe_area_fallbacks", fallbacks);
     w.kv("hit_limit", hit_limit);
+    w.kv("monitor_violations", monitor_violations);
+    w.kv("monitor_aborted", monitor_aborted);
     w.end_object();
   }
   w.end_array();

@@ -25,10 +25,12 @@ namespace hydra::obs {
 
 class Registry;
 class TraceSink;
+class MonitorHost;
 
 struct Context {
   Registry* registry = nullptr;     ///< per-run registry; nullptr = global
   TraceSink* trace_sink = nullptr;  ///< per-run trace sink; may be null
+  MonitorHost* monitors = nullptr;  ///< per-run invariant monitors; may be null
   bool enabled = false;             ///< per-run master switch
   /// Safe-area numerical fallbacks during this run. Counted even when
   /// `enabled` is false (it is a correctness diagnostic, not a metric).
@@ -77,6 +79,14 @@ inline void set_enabled(bool on) noexcept {
   detail::enabled_ref().store(on, std::memory_order_relaxed);
   const Context* ctx = detail::t_context;
   detail::t_enabled = ctx != nullptr ? ctx->enabled : on;
+}
+
+/// The invariant-monitor host for the current run, or nullptr. Monitors are
+/// strictly context-scoped — there is no process-wide fallback — so ad-hoc
+/// global-state code never pays for them.
+[[nodiscard]] inline MonitorHost* monitors() noexcept {
+  const Context* ctx = detail::t_context;
+  return ctx != nullptr ? ctx->monitors : nullptr;
 }
 
 /// The run-scoped safe-area fallback counter: the installed context's slot,

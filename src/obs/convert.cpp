@@ -6,91 +6,15 @@
 #include <string>
 #include <string_view>
 
+#include "obs/flatjson.hpp"
 #include "obs/json.hpp"
 
 namespace hydra::obs {
 namespace {
 
-/// Parses one flat JSON object ({"k":v,...}, string or numeric values) into
-/// a key -> raw-value map. This is a reader for *our own* trace output, not
-/// a general JSON parser; on any structural surprise it returns an empty
-/// map and the caller skips the line.
-std::map<std::string, std::string> parse_flat_object(std::string_view line) {
-  std::map<std::string, std::string> out;
-  std::size_t i = 0;
-  const auto skip_ws = [&] {
-    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
-  };
-  const auto parse_string = [&](std::string& into) -> bool {
-    if (i >= line.size() || line[i] != '"') return false;
-    ++i;
-    while (i < line.size() && line[i] != '"') {
-      if (line[i] == '\\' && i + 1 < line.size()) {
-        ++i;
-        switch (line[i]) {
-          case 'n': into.push_back('\n'); break;
-          case 'r': into.push_back('\r'); break;
-          case 't': into.push_back('\t'); break;
-          case 'u':
-            // \u00XX from the writer's control-character escapes; keep as-is.
-            if (i + 4 < line.size()) {
-              into.append("\\u").append(line.substr(i + 1, 4));
-              i += 4;
-            }
-            break;
-          default: into.push_back(line[i]);
-        }
-      } else {
-        into.push_back(line[i]);
-      }
-      ++i;
-    }
-    if (i >= line.size()) return false;
-    ++i;  // closing quote
-    return true;
-  };
-
-  skip_ws();
-  if (i >= line.size() || line[i] != '{') return {};
-  ++i;
-  while (true) {
-    skip_ws();
-    if (i < line.size() && line[i] == '}') break;
-    std::string key;
-    if (!parse_string(key)) return {};
-    skip_ws();
-    if (i >= line.size() || line[i] != ':') return {};
-    ++i;
-    skip_ws();
-    std::string value;
-    if (i < line.size() && line[i] == '"') {
-      if (!parse_string(value)) return {};
-    } else {
-      while (i < line.size() && line[i] != ',' && line[i] != '}') {
-        value.push_back(line[i]);
-        ++i;
-      }
-    }
-    out.emplace(std::move(key), std::move(value));
-    skip_ws();
-    if (i < line.size() && line[i] == ',') {
-      ++i;
-      continue;
-    }
-    break;
-  }
-  return out;
-}
-
-std::int64_t num(const std::map<std::string, std::string>& kv, const char* key) {
-  const auto it = kv.find(key);
-  return it == kv.end() ? 0 : std::strtoll(it->second.c_str(), nullptr, 10);
-}
-
-std::string str(const std::map<std::string, std::string>& kv, const char* key) {
-  const auto it = kv.find(key);
-  return it == kv.end() ? std::string{} : it->second;
-}
+using flatjson::num;
+using flatjson::parse_flat_object;
+using flatjson::str;
 
 /// Emits the shared prefix of one traceEvents entry.
 void event_header(JsonWriter& w, std::string_view name, std::string_view ph,
@@ -167,6 +91,19 @@ std::size_t chrome_trace_from_jsonl(std::istream& in, std::ostream& out) {
       w.begin_object();
       const auto it = kv.find("value");
       w.kv("value", it == kv.end() ? 0.0 : std::strtod(it->second.c_str(), nullptr));
+      w.end_object();
+      w.end_object();
+    } else if (ev == "invariant.violation") {
+      const std::int64_t tid = num(kv, "party");
+      tids.insert(tid);
+      event_header(w, "VIOLATION " + str(kv, "monitor"), "i", t, tid);
+      w.kv("s", "g");  // global scope: violations should jump out in the UI
+      w.key("args");
+      w.begin_object();
+      w.kv("monitor", str(kv, "monitor"));
+      w.kv("it", num(kv, "it"));
+      w.kv("cause", num(kv, "cause"));
+      w.kv("detail", str(kv, "detail"));
       w.end_object();
       w.end_object();
     } else if (ev == "log") {

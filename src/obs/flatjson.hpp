@@ -1,0 +1,101 @@
+// Minimal reader for the flat JSON objects *this library writes* — trace
+// JSONL lines and metrics sub-objects: {"k": v, ...} with string or numeric
+// values and no nesting. Shared by obs/convert.cpp (Chrome trace converter)
+// and obs/report.cpp (hydra report). Not a general JSON parser: on any
+// structural surprise parse_flat_object returns an empty map and the caller
+// skips the line.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace hydra::obs::flatjson {
+
+inline std::map<std::string, std::string> parse_flat_object(std::string_view line) {
+  std::map<std::string, std::string> out;
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  };
+  const auto parse_string = [&](std::string& into) -> bool {
+    if (i >= line.size() || line[i] != '"') return false;
+    ++i;
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\' && i + 1 < line.size()) {
+        ++i;
+        switch (line[i]) {
+          case 'n': into.push_back('\n'); break;
+          case 'r': into.push_back('\r'); break;
+          case 't': into.push_back('\t'); break;
+          case 'u':
+            // \u00XX from the writer's control-character escapes; keep as-is.
+            if (i + 4 < line.size()) {
+              into.append("\\u").append(line.substr(i + 1, 4));
+              i += 4;
+            }
+            break;
+          default: into.push_back(line[i]);
+        }
+      } else {
+        into.push_back(line[i]);
+      }
+      ++i;
+    }
+    if (i >= line.size()) return false;
+    ++i;  // closing quote
+    return true;
+  };
+
+  skip_ws();
+  if (i >= line.size() || line[i] != '{') return {};
+  ++i;
+  while (true) {
+    skip_ws();
+    if (i < line.size() && line[i] == '}') break;
+    std::string key;
+    if (!parse_string(key)) return {};
+    skip_ws();
+    if (i >= line.size() || line[i] != ':') return {};
+    ++i;
+    skip_ws();
+    std::string value;
+    if (i < line.size() && line[i] == '"') {
+      if (!parse_string(value)) return {};
+    } else {
+      while (i < line.size() && line[i] != ',' && line[i] != '}') {
+        value.push_back(line[i]);
+        ++i;
+      }
+    }
+    out.emplace(std::move(key), std::move(value));
+    skip_ws();
+    if (i < line.size() && line[i] == ',') {
+      ++i;
+      continue;
+    }
+    break;
+  }
+  return out;
+}
+
+inline std::int64_t num(const std::map<std::string, std::string>& kv,
+                        const char* key) {
+  const auto it = kv.find(key);
+  return it == kv.end() ? 0 : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+inline double real(const std::map<std::string, std::string>& kv, const char* key) {
+  const auto it = kv.find(key);
+  return it == kv.end() ? 0.0 : std::strtod(it->second.c_str(), nullptr);
+}
+
+inline std::string str(const std::map<std::string, std::string>& kv,
+                       const char* key) {
+  const auto it = kv.find(key);
+  return it == kv.end() ? std::string{} : it->second;
+}
+
+}  // namespace hydra::obs::flatjson

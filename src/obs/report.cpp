@@ -1,0 +1,392 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/flatjson.hpp"
+#include "obs/monitor.hpp"
+
+namespace hydra::obs {
+namespace {
+
+using flatjson::num;
+using flatjson::parse_flat_object;
+using flatjson::real;
+using flatjson::str;
+
+constexpr std::size_t kMaxViolationRows = 50;
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Extracts the *flat* sub-object stored under `key` in a metrics document
+/// ("key":{...}) — including the braces — or "" when absent. Relies on our
+/// own writer's output: sub-objects of interest contain no nested braces.
+std::string extract_object(const std::string& doc, const std::string& key) {
+  const std::string needle = "\"" + key + "\":{";
+  const auto at = doc.find(needle);
+  if (at == std::string::npos) return {};
+  const auto open = at + needle.size() - 1;
+  const auto close = doc.find('}', open);
+  if (close == std::string::npos) return {};
+  return doc.substr(open, close - open + 1);
+}
+
+struct ViolationRow {
+  std::int64_t t = 0;
+  std::int64_t party = 0;
+  std::string monitor;
+  std::int64_t iteration = 0;
+  std::int64_t cause = 0;
+  std::string detail;
+};
+
+/// Everything the renderers need, accumulated in one pass over the trace.
+struct TraceSummary {
+  std::size_t events = 0;
+  std::int64_t max_party = -1;
+  std::int64_t end_time = 0;
+  std::uint64_t sends = 0;
+  std::uint64_t send_bytes = 0;
+  std::map<std::pair<std::int64_t, std::int64_t>, std::uint64_t> send_matrix;
+  std::map<std::int64_t, std::uint64_t> sent_msgs_by_party;
+  std::map<std::int64_t, std::uint64_t> sent_bytes_by_party;
+  std::map<std::int64_t, std::uint64_t> delivered_by_party;
+  std::vector<std::pair<std::int64_t, double>> diameter_series;
+  std::vector<ViolationRow> violations;
+  std::uint64_t total_violations = 0;
+  std::int64_t max_iteration = 0;
+};
+
+TraceSummary scan_trace(std::istream& in) {
+  TraceSummary s;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto kv = parse_flat_object(line);
+    const std::string ev = str(kv, "ev");
+    if (ev.empty()) continue;
+    ++s.events;
+    s.end_time = std::max(s.end_time, num(kv, "t"));
+    if (ev == "send") {
+      const auto from = num(kv, "from");
+      const auto to = num(kv, "to");
+      s.max_party = std::max({s.max_party, from, to});
+      s.sends += 1;
+      const auto bytes = static_cast<std::uint64_t>(num(kv, "bytes"));
+      s.send_bytes += bytes;
+      s.send_matrix[{from, to}] += 1;
+      s.sent_msgs_by_party[from] += 1;
+      s.sent_bytes_by_party[from] += bytes;
+    } else if (ev == "deliver") {
+      const auto to = num(kv, "to");
+      s.max_party = std::max({s.max_party, num(kv, "from"), to});
+      s.delivered_by_party[to] += 1;
+    } else if (ev == "scalar") {
+      if (str(kv, "name") == "honest_diameter") {
+        s.diameter_series.emplace_back(num(kv, "t"), real(kv, "value"));
+      }
+    } else if (ev == "round_end") {
+      s.max_iteration = std::max(s.max_iteration, num(kv, "it"));
+    } else if (ev == "invariant.violation") {
+      s.total_violations += 1;
+      if (s.violations.size() < kMaxViolationRows) {
+        s.violations.push_back(ViolationRow{num(kv, "t"), num(kv, "party"),
+                                            str(kv, "monitor"), num(kv, "it"),
+                                            num(kv, "cause"), str(kv, "detail")});
+      }
+    }
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Renderers: one markdown, one single-file HTML, both driven by the same
+// section/table/para calls so the report content cannot drift between them.
+
+class Renderer {
+ public:
+  explicit Renderer(std::ostream& out) : out_(out) {}
+  virtual ~Renderer() = default;
+  virtual void begin(const std::string& title) = 0;
+  virtual void section(const std::string& title) = 0;
+  virtual void para(const std::string& text) = 0;
+  virtual void table(const std::vector<std::string>& headers,
+                     const std::vector<std::vector<std::string>>& rows) = 0;
+  /// A (t, value) line chart; the markdown renderer falls back to a table.
+  virtual void chart(const std::string& caption,
+                     const std::vector<std::pair<std::int64_t, double>>& series) = 0;
+  virtual void end() = 0;
+
+ protected:
+  std::ostream& out_;
+};
+
+class MarkdownRenderer final : public Renderer {
+ public:
+  using Renderer::Renderer;
+  void begin(const std::string& title) override { out_ << "# " << title << "\n"; }
+  void section(const std::string& title) override {
+    out_ << "\n## " << title << "\n\n";
+  }
+  void para(const std::string& text) override { out_ << text << "\n"; }
+  void table(const std::vector<std::string>& headers,
+             const std::vector<std::vector<std::string>>& rows) override {
+    out_ << "|";
+    for (const auto& h : headers) out_ << " " << h << " |";
+    out_ << "\n|";
+    for (std::size_t i = 0; i < headers.size(); ++i) out_ << "---|";
+    out_ << "\n";
+    for (const auto& row : rows) {
+      out_ << "|";
+      for (const auto& cell : row) out_ << " " << cell << " |";
+      out_ << "\n";
+    }
+  }
+  void chart(const std::string& caption,
+             const std::vector<std::pair<std::int64_t, double>>& series) override {
+    para(caption);
+    std::vector<std::vector<std::string>> rows;
+    rows.reserve(series.size());
+    for (const auto& [t, v] : series) {
+      rows.push_back({std::to_string(t), fmt_double(v)});
+    }
+    table({"t", "value"}, rows);
+  }
+  void end() override {}
+};
+
+class HtmlRenderer final : public Renderer {
+ public:
+  using Renderer::Renderer;
+
+  void begin(const std::string& title) override {
+    out_ << "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>"
+         << esc(title) << "</title>\n<style>\n"
+         << "body{font-family:system-ui,sans-serif;margin:2em;max-width:70em}\n"
+         << "table{border-collapse:collapse;margin:0.5em 0}\n"
+         << "td,th{border:1px solid #999;padding:2px 8px;font-size:90%}\n"
+         << "th{background:#eee}\n"
+         << "</style></head><body>\n<h1>" << esc(title) << "</h1>\n";
+  }
+  void section(const std::string& title) override {
+    out_ << "<h2>" << esc(title) << "</h2>\n";
+  }
+  void para(const std::string& text) override {
+    out_ << "<p>" << esc(text) << "</p>\n";
+  }
+  void table(const std::vector<std::string>& headers,
+             const std::vector<std::vector<std::string>>& rows) override {
+    out_ << "<table><tr>";
+    for (const auto& h : headers) out_ << "<th>" << esc(h) << "</th>";
+    out_ << "</tr>\n";
+    for (const auto& row : rows) {
+      out_ << "<tr>";
+      for (const auto& cell : row) out_ << "<td>" << esc(cell) << "</td>";
+      out_ << "</tr>\n";
+    }
+    out_ << "</table>\n";
+  }
+  void chart(const std::string& caption,
+             const std::vector<std::pair<std::int64_t, double>>& series) override {
+    para(caption);
+    if (series.size() < 2) return;
+    // Inline SVG polyline, y flipped (SVG grows downward), 10px padding.
+    constexpr double kW = 640.0, kH = 240.0, kPad = 10.0;
+    double tmin = 1e300, tmax = -1e300, vmin = 1e300, vmax = -1e300;
+    for (const auto& [t, v] : series) {
+      tmin = std::min(tmin, static_cast<double>(t));
+      tmax = std::max(tmax, static_cast<double>(t));
+      vmin = std::min(vmin, v);
+      vmax = std::max(vmax, v);
+    }
+    const double tspan = tmax > tmin ? tmax - tmin : 1.0;
+    const double vspan = vmax > vmin ? vmax - vmin : 1.0;
+    out_ << "<svg width=\"" << kW << "\" height=\"" << kH
+         << "\" style=\"border:1px solid #ccc\"><polyline fill=\"none\" "
+            "stroke=\"#06c\" stroke-width=\"2\" points=\"";
+    for (const auto& [t, v] : series) {
+      const double x =
+          kPad + (static_cast<double>(t) - tmin) / tspan * (kW - 2 * kPad);
+      const double y = kH - kPad - (v - vmin) / vspan * (kH - 2 * kPad);
+      out_ << fmt_double(x) << "," << fmt_double(y) << " ";
+    }
+    out_ << "\"/></svg>\n<p><small>y: " << fmt_double(vmin) << " … "
+         << fmt_double(vmax) << ", x: " << tmin << " … " << tmax
+         << " ticks</small></p>\n";
+  }
+  void end() override { out_ << "</body></html>\n"; }
+
+ private:
+  static std::string esc(const std::string& in) {
+    std::string out;
+    out.reserve(in.size());
+    for (const char c : in) {
+      switch (c) {
+        case '&': out += "&amp;"; break;
+        case '<': out += "&lt;"; break;
+        case '>': out += "&gt;"; break;
+        default: out.push_back(c);
+      }
+    }
+    return out;
+  }
+};
+
+void kv_table(Renderer& r, const std::map<std::string, std::string>& kv) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(kv.size());
+  for (const auto& [k, v] : kv) rows.push_back({k, v});
+  r.table({"key", "value"}, rows);
+}
+
+}  // namespace
+
+std::size_t render_report(std::istream& trace, const std::string& metrics_json,
+                          const ReportOptions& options, std::ostream& out) {
+  const TraceSummary s = scan_trace(trace);
+
+  const auto spec = parse_flat_object(extract_object(metrics_json, "spec"));
+  const auto verdict = parse_flat_object(extract_object(metrics_json, "verdict"));
+  const auto monitor = parse_flat_object(extract_object(metrics_json, "monitor"));
+
+  MarkdownRenderer md(out);
+  HtmlRenderer html(out);
+  Renderer& r = options.format == ReportOptions::Format::kHtml
+                    ? static_cast<Renderer&>(html)
+                    : static_cast<Renderer&>(md);
+
+  r.begin(options.title);
+  r.para(std::to_string(s.events) + " trace events over " +
+         std::to_string(s.end_time) + " virtual ticks, " +
+         std::to_string(s.sends) + " sends (" + std::to_string(s.send_bytes) +
+         " bytes), max iteration " + std::to_string(s.max_iteration) + ".");
+
+  if (!spec.empty()) {
+    r.section("Run spec");
+    kv_table(r, spec);
+  }
+  if (!verdict.empty()) {
+    r.section("Oracle verdict");
+    kv_table(r, verdict);
+  }
+
+  r.section("Invariant violations");
+  const std::uint64_t reported =
+      monitor.count("violations") != 0U
+          ? static_cast<std::uint64_t>(num(monitor, "violations"))
+          : s.total_violations;
+  if (reported == 0 && s.total_violations == 0) {
+    r.para(monitor.empty() ? "No violation events in the trace (monitors may "
+                             "not have been enabled for this run)."
+                           : "No violations — all monitored invariants held "
+                             "(mode: " + str(monitor, "mode") + ").");
+  } else {
+    r.para(std::to_string(std::max<std::uint64_t>(reported, s.total_violations)) +
+           " violation(s)" +
+           (str(monitor, "aborted") == "true" ? "; strict mode aborted the run."
+                                              : "."));
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& v : s.violations) {
+      rows.push_back({std::to_string(v.t), std::to_string(v.party), v.monitor,
+                      std::to_string(v.iteration), std::to_string(v.cause),
+                      v.detail});
+    }
+    r.table({"t", "party", "monitor", "it", "cause", "detail"}, rows);
+    if (s.total_violations > s.violations.size()) {
+      r.para("(showing the first " + std::to_string(s.violations.size()) + " of " +
+             std::to_string(s.total_violations) + ")");
+    }
+  }
+
+  r.section("Convergence (honest diameter per iteration)");
+  if (s.diameter_series.empty()) {
+    r.para("No honest_diameter series in the trace.");
+  } else {
+    r.chart("Honest value diameter over virtual time — the paper predicts "
+            "contraction by sqrt(7/8) per iteration (Lemma 5.10):",
+            s.diameter_series);
+    std::vector<std::vector<std::string>> rows;
+    for (std::size_t i = 0; i < s.diameter_series.size(); ++i) {
+      const double d = s.diameter_series[i].second;
+      const double prev = i > 0 ? s.diameter_series[i - 1].second : 0.0;
+      rows.push_back({std::to_string(i), fmt_double(d),
+                      i > 0 && prev > 0.0 ? fmt_double(d / prev) : "-"});
+    }
+    r.table({"iteration", "diameter", "ratio"}, rows);
+  }
+
+  if (s.max_party >= 0) {
+    r.section("Per-party send/deliver matrix");
+    std::vector<std::string> headers{"from \\ to"};
+    for (std::int64_t to = 0; to <= s.max_party; ++to) {
+      headers.push_back(std::to_string(to));
+    }
+    headers.insert(headers.end(), {"sent", "delivered"});
+    std::vector<std::vector<std::string>> rows;
+    for (std::int64_t from = 0; from <= s.max_party; ++from) {
+      std::vector<std::string> row{std::to_string(from)};
+      for (std::int64_t to = 0; to <= s.max_party; ++to) {
+        const auto it = s.send_matrix.find({from, to});
+        row.push_back(std::to_string(it == s.send_matrix.end() ? 0 : it->second));
+      }
+      const auto sent = s.sent_msgs_by_party.find(from);
+      const auto delivered = s.delivered_by_party.find(from);
+      row.push_back(
+          std::to_string(sent == s.sent_msgs_by_party.end() ? 0 : sent->second));
+      row.push_back(std::to_string(
+          delivered == s.delivered_by_party.end() ? 0 : delivered->second));
+      rows.push_back(std::move(row));
+    }
+    r.table(headers, rows);
+  }
+
+  // Paper-bound vs measured complexity: needs (n, dim, protocol) from the
+  // metrics spec; skipped when no metrics document was provided.
+  const auto n = static_cast<std::size_t>(num(spec, "n"));
+  const auto dim = static_cast<std::size_t>(num(spec, "dim"));
+  if (n > 0 && dim > 0) {
+    r.section("Complexity: paper bound vs measured");
+    const std::string protocol = str(spec, "protocol");
+    const ComplexityBudget budget = protocol == "sync-lockstep"
+                                        ? lockstep_complexity_budget(n, dim)
+                                        : hybrid_complexity_budget(n, dim);
+    const auto k = static_cast<std::uint64_t>(s.max_iteration);
+    const std::uint64_t msg_bound =
+        budget.msgs_fixed + budget.msgs_per_iteration * (k + 2);
+    const std::uint64_t byte_bound =
+        budget.bytes_fixed + budget.bytes_per_iteration * (k + 2);
+    r.para("Structural per-party bound for " + protocol + " at n=" +
+           std::to_string(n) + ", D=" + std::to_string(dim) + ", K=" +
+           std::to_string(k) + ": " + std::to_string(msg_bound) + " messages / " +
+           std::to_string(byte_bound) + " bytes (Theorem 5.19; " +
+           "Byzantine parties may exceed it).");
+    std::vector<std::vector<std::string>> rows;
+    for (std::int64_t id = 0; id <= s.max_party; ++id) {
+      const auto msgs_it = s.sent_msgs_by_party.find(id);
+      const auto bytes_it = s.sent_bytes_by_party.find(id);
+      const std::uint64_t msgs =
+          msgs_it == s.sent_msgs_by_party.end() ? 0 : msgs_it->second;
+      const std::uint64_t bytes =
+          bytes_it == s.sent_bytes_by_party.end() ? 0 : bytes_it->second;
+      rows.push_back({std::to_string(id), std::to_string(msgs),
+                      std::to_string(msg_bound), std::to_string(bytes),
+                      std::to_string(byte_bound),
+                      msgs <= msg_bound && bytes <= byte_bound ? "yes" : "NO"});
+    }
+    r.table({"party", "messages", "msg bound", "bytes", "byte bound", "within"},
+            rows);
+  }
+
+  r.end();
+  return s.events;
+}
+
+}  // namespace hydra::obs

@@ -41,9 +41,12 @@ void TraceSink::write_line(const std::string& line) {
 
 namespace {
 
+// `link_key` carries causality: "id" on a send, "cause" on a deliver
+// (0 suppresses the key so transports without ids keep the old schema).
 std::string message_line(const char* ev, Time t, PartyId from, PartyId to,
                          std::uint32_t tag, std::uint32_t a, std::uint32_t b,
-                         std::uint8_t kind, std::size_t bytes) {
+                         std::uint8_t kind, std::size_t bytes,
+                         const char* link_key, std::uint64_t link) {
   JsonWriter w;
   w.begin_object();
   w.kv("ev", ev);
@@ -55,6 +58,7 @@ std::string message_line(const char* ev, Time t, PartyId from, PartyId to,
   w.kv("b", b);
   w.kv("kind", std::uint64_t{kind});
   w.kv("bytes", bytes);
+  if (link != 0) w.kv(link_key, link);
   w.end_object();
   return w.take();
 }
@@ -63,14 +67,15 @@ std::string message_line(const char* ev, Time t, PartyId from, PartyId to,
 
 void TraceSink::message_send(Time t, PartyId from, PartyId to, std::uint32_t tag,
                              std::uint32_t a, std::uint32_t b, std::uint8_t kind,
-                             std::size_t bytes) {
-  write_line(message_line("send", t, from, to, tag, a, b, kind, bytes));
+                             std::size_t bytes, std::uint64_t id) {
+  write_line(message_line("send", t, from, to, tag, a, b, kind, bytes, "id", id));
 }
 
 void TraceSink::message_deliver(Time t, PartyId from, PartyId to, std::uint32_t tag,
                                 std::uint32_t a, std::uint32_t b, std::uint8_t kind,
-                                std::size_t bytes) {
-  write_line(message_line("deliver", t, from, to, tag, a, b, kind, bytes));
+                                std::size_t bytes, std::uint64_t cause) {
+  write_line(
+      message_line("deliver", t, from, to, tag, a, b, kind, bytes, "cause", cause));
 }
 
 void TraceSink::state(Time t, PartyId party, std::string_view layer,
@@ -118,6 +123,22 @@ void TraceSink::scalar(Time t, PartyId party, std::string_view name, double valu
   w.kv("party", std::uint64_t{party});
   w.kv("name", name);
   w.kv("value", value);
+  w.end_object();
+  write_line(w.take());
+}
+
+void TraceSink::violation(Time t, PartyId party, std::string_view monitor,
+                          std::uint32_t iteration, std::uint64_t cause,
+                          std::string_view detail) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("ev", "invariant.violation");
+  w.kv("t", std::int64_t{t});
+  w.kv("party", std::uint64_t{party});
+  w.kv("monitor", monitor);
+  w.kv("it", iteration);
+  w.kv("cause", cause);
+  w.kv("detail", detail);
   w.end_object();
   write_line(w.take());
 }

@@ -40,14 +40,17 @@ class TraceSink {
 
   // -- network layer -------------------------------------------------------
 
-  /// A message handed to the network at virtual time `t`.
+  /// A message handed to the network at virtual time `t`. `id` is the
+  /// transport-assigned send-event id (unique per run, 1-based; 0 = the
+  /// transport does not assign ids).
   void message_send(Time t, PartyId from, PartyId to, std::uint32_t tag,
                     std::uint32_t a, std::uint32_t b, std::uint8_t kind,
-                    std::size_t bytes);
-  /// A message delivered to `to` at virtual time `t`.
+                    std::size_t bytes, std::uint64_t id);
+  /// A message delivered to `to` at virtual time `t`. `cause` is the id of
+  /// the originating `send` event (its causal parent; 0 = unknown).
   void message_deliver(Time t, PartyId from, PartyId to, std::uint32_t tag,
                        std::uint32_t a, std::uint32_t b, std::uint8_t kind,
-                       std::size_t bytes);
+                       std::size_t bytes, std::uint64_t cause);
 
   // -- protocol layer ------------------------------------------------------
 
@@ -63,6 +66,12 @@ class TraceSink {
   /// A named numeric observation (estimates, diameters, ...). Rendered as a
   /// Chrome counter track by trace_convert.
   void scalar(Time t, PartyId party, std::string_view name, double value);
+
+  /// An invariant monitor detected a violation (obs/monitor.hpp). `cause` is
+  /// the send-event id of the message that triggered the check (0 = none).
+  void violation(Time t, PartyId party, std::string_view monitor,
+                 std::uint32_t iteration, std::uint64_t cause,
+                 std::string_view detail);
 
   // -- logging -------------------------------------------------------------
 

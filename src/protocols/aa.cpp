@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "obs/metrics.hpp"
+#include "obs/monitor.hpp"
 #include "obs/trace.hpp"
 #include "protocols/aa_iteration.hpp"
 #include "protocols/keys.hpp"
@@ -133,13 +134,22 @@ void AaParty::on_init_output(Env& env, const InitInstance::Output& out) {
   if (obs::enabled()) {
     obs::registry().counter("aa.round_start").inc();
     if (auto* tr = obs::trace()) tr->round_start(env.now(), env.self(), 1);
+    if (auto* mon = obs::monitors()) {
+      mon->on_value(env.now(), env.self(), 0, out.v0);
+    }
   }
   obc(1).start(env, out.v0);
   env.set_timer(iter_start_ + Params::kCAaIt * params_.delta, 0);
 }
 
 void AaParty::on_obc_output(Env& env, std::uint32_t iteration, const PairList& m) {
-  iter_results_.emplace(iteration, compute_new_value(params_, m));
+  geo::Vec v = compute_new_value(params_, m);
+  if (params_.test_faulty_escape != 0.0) {
+    // Party-dependent shift so the faulty values both escape the honest hull
+    // (validity) and spread apart (contraction) — see Params.
+    v[0] += params_.test_faulty_escape * (1.0 + static_cast<double>(env.self()));
+  }
+  iter_results_.emplace(iteration, std::move(v));
   advance(env);
 }
 
@@ -192,6 +202,9 @@ void AaParty::advance(Env& env) {
     if (obs::enabled()) {
       obs::registry().counter("aa.round_end").inc();
       if (auto* tr = obs::trace()) tr->round_end(env.now(), env.self(), it_);
+      if (auto* mon = obs::monitors()) {
+        mon->on_value(env.now(), env.self(), it_, v_it);
+      }
     }
 
     // Line 7: announce our own halt point.

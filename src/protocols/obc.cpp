@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "obs/metrics.hpp"
+#include "obs/monitor.hpp"
 #include "obs/trace.hpp"
 #include "protocols/keys.hpp"
 
@@ -103,6 +104,11 @@ void ObcInstance::step(Env& env, bool at_timer) {
       witnesses_.size() >= params_.quorum()) {
     output_ = snapshot();
     note_transition(env, iteration_, "output");
+    if (obs::enabled()) {
+      if (auto* mon = obs::monitors()) {
+        mon->on_obc_output(env.now(), env.self(), iteration_, *output_);
+      }
+    }
     if (on_output) on_output(env, *output_);
   }
 }

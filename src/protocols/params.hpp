@@ -37,6 +37,13 @@ struct Params {
   /// used by the fixed-iteration baseline and the Πinit ablation.
   std::uint64_t fixed_iterations = 0;
 
+  /// Test-only fault injection: when non-zero, every aggregated iteration
+  /// value is shifted by test_faulty_escape * (1 + party id) along the first
+  /// coordinate, deliberately breaking the safe-area guarantee. Exists to
+  /// prove the validity and contraction invariant monitors (obs/monitor.hpp)
+  /// actually fire; never set outside tests.
+  double test_faulty_escape = 0.0;
+
   // Timing constants, in units of Delta.
   static constexpr int kCRbc = 3;       ///< Theorem 4.2: c_rBC
   static constexpr int kCRbcCond = 2;   ///< Theorem 4.2: c'_rBC

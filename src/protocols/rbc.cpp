@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "obs/metrics.hpp"
+#include "obs/monitor.hpp"
 #include "obs/trace.hpp"
 
 namespace hydra::protocols {
@@ -68,6 +69,12 @@ bool RbcInstance::on_message(Env& env, PartyId from, const Message& msg) {
         delivered_ = true;
         output_ = msg.payload;
         note_transition(env, key_, "deliver");
+        if (obs::enabled()) {
+          if (auto* mon = obs::monitors()) {
+            mon->on_rbc_deliver(env.now(), env.self(), key_.tag, key_.a, key_.b,
+                                msg.payload);
+          }
+        }
         return true;
       }
       return false;

@@ -6,6 +6,7 @@
 
 #include "common/assert.hpp"
 #include "obs/metrics.hpp"
+#include "obs/monitor.hpp"
 #include "obs/trace.hpp"
 
 namespace hydra::sim {
@@ -68,7 +69,7 @@ void Simulation::schedule_phase(Time at, Phase phase, std::function<void()> fn) 
 }
 
 void Simulation::record_send(PartyId from, PartyId to, const Message& msg,
-                             Duration delay) {
+                             Duration delay, std::uint64_t send_id) {
   auto& registry = obs::registry();
   registry.counter("sim.messages").inc();
   registry.counter("sim.bytes").inc(msg.wire_size());
@@ -91,7 +92,10 @@ void Simulation::record_send(PartyId from, PartyId to, const Message& msg,
   }
   if (auto* tr = obs::trace()) {
     tr->message_send(now_, from, to, msg.key.tag, msg.key.a, msg.key.b, msg.kind,
-                     msg.wire_size());
+                     msg.wire_size(), send_id);
+  }
+  if (auto* mon = obs::monitors()) {
+    mon->on_send(now_, from, msg.wire_size());
   }
 }
 
@@ -104,15 +108,33 @@ void Simulation::deliver(PartyId from, PartyId to, Message msg) {
   const Duration d =
       from == to ? 0 : delay_model_->delay(from, to, now_, msg, rng_);
   HYDRA_ASSERT(from == to || d >= 1);
-  if (obs::enabled()) record_send(from, to, msg, d);
   Simulation* sim = this;
-  schedule_phase(now_ + d, Phase::kMessage, [sim, from, to, msg = std::move(msg)] {
-    if (obs::enabled()) {
+  if (obs::enabled()) {
+    // The obs state cannot change while run() executes, so the dispatch
+    // closure needs no enabled() re-check of its own.
+    const std::uint64_t send_id = ++send_id_;
+    record_send(from, to, msg, d, send_id);
+    schedule_phase(now_ + d, Phase::kMessage,
+                   [sim, from, to, send_id, msg = std::move(msg)] {
       if (auto* tr = obs::trace()) {
-        tr->message_deliver(sim->now_, from, to, msg.key.tag, msg.key.a, msg.key.b,
-                            msg.kind, msg.wire_size());
+        tr->message_deliver(sim->now_, from, to, msg.key.tag, msg.key.a,
+                            msg.key.b, msg.kind, msg.wire_size(), send_id);
       }
-    }
+      if (auto* mon = obs::monitors()) {
+        // Bracket the handler so monitor checks fired inside it can name
+        // this message as their cause.
+        mon->begin_dispatch(send_id);
+        sim->parties_[to]->on_message(*sim->envs_[to], from, msg);
+        mon->end_dispatch();
+        return;
+      }
+      sim->parties_[to]->on_message(*sim->envs_[to], from, msg);
+    });
+    return;
+  }
+  // Disabled hot path: one atomic load above, then the lean closure — held
+  // to < 2% overhead by bench_obs_overhead.
+  schedule_phase(now_ + d, Phase::kMessage, [sim, from, to, msg = std::move(msg)] {
     sim->parties_[to]->on_message(*sim->envs_[to], from, msg);
   });
 }
@@ -125,17 +147,41 @@ SimStats Simulation::run() {
     schedule_phase(0, Phase::kMessage, [sim, id] { sim->parties_[id]->start(*sim->envs_[id]); });
   }
 
-  while (!queue_.empty()) {
-    if (stats_.events >= config_.max_events || queue_.top().at > config_.max_time) {
-      stats_.hit_limit = true;
-      break;
+  // Hoisted: the context (and with it the monitor host) cannot change while
+  // run() executes on this thread. The drain loop is duplicated so the
+  // monitors-off path carries no per-event check (bench_obs_overhead).
+  obs::MonitorHost* mon = obs::enabled() ? obs::monitors() : nullptr;
+
+  if (mon == nullptr) {
+    while (!queue_.empty()) {
+      if (stats_.events >= config_.max_events || queue_.top().at > config_.max_time) {
+        stats_.hit_limit = true;
+        break;
+      }
+      Event ev = queue_.top();
+      queue_.pop();
+      HYDRA_ASSERT(ev.at >= now_);
+      now_ = ev.at;
+      stats_.events += 1;
+      ev.fn();
     }
-    Event ev = queue_.top();
-    queue_.pop();
-    HYDRA_ASSERT(ev.at >= now_);
-    now_ = ev.at;
-    stats_.events += 1;
-    ev.fn();
+  } else {
+    while (!queue_.empty()) {
+      if (stats_.events >= config_.max_events || queue_.top().at > config_.max_time) {
+        stats_.hit_limit = true;
+        break;
+      }
+      if (mon->abort_requested()) {
+        stats_.monitor_aborted = true;
+        break;
+      }
+      Event ev = queue_.top();
+      queue_.pop();
+      HYDRA_ASSERT(ev.at >= now_);
+      now_ = ev.at;
+      stats_.events += 1;
+      ev.fn();
+    }
   }
 
   stats_.end_time = now_;

@@ -34,6 +34,9 @@ struct SimStats {
   std::uint64_t events = 0;
   Time end_time = 0;
   bool hit_limit = false;  ///< stopped by max_time/max_events, not quiescence
+  /// Stopped early because a strict-mode invariant monitor requested it
+  /// (obs/monitor.hpp); the queue was not drained.
+  bool monitor_aborted = false;
   /// Messages sent per party (index = PartyId): per-party bandwidth lens,
   /// e.g. to spot a spamming Byzantine slot or asymmetric load.
   std::vector<std::uint64_t> sent_per_party;
@@ -78,9 +81,11 @@ class Simulation {
   void schedule_phase(Time at, Phase phase, std::function<void()> fn);
   void deliver(PartyId from, PartyId to, Message msg);
 
-  /// Observability slow path: counters, per-round accounting and the trace
-  /// send event. Called from deliver() only when obs::enabled().
-  void record_send(PartyId from, PartyId to, const Message& msg, Duration delay);
+  /// Observability slow path: counters, per-round accounting, the trace
+  /// send event (with `send_id` as its causal id) and the monitor hook.
+  /// Called from deliver() only when obs::enabled().
+  void record_send(PartyId from, PartyId to, const Message& msg, Duration delay,
+                   std::uint64_t send_id);
 
   SimConfig config_;
   std::unique_ptr<DelayModel> delay_model_;
@@ -101,6 +106,9 @@ class Simulation {
   };
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
   std::uint64_t next_seq_ = 0;
+  /// Trace send-event ids (1-based; incremented only while obs is enabled,
+  /// so the disabled path is untouched and same-seed traces stay identical).
+  std::uint64_t send_id_ = 0;
 
   std::vector<std::unique_ptr<IParty>> parties_;
   std::vector<std::unique_ptr<PartyEnv>> envs_;

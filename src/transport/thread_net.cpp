@@ -9,6 +9,7 @@
 #include "common/assert.hpp"
 #include "obs/context.hpp"
 #include "obs/metrics.hpp"
+#include "obs/monitor.hpp"
 #include "obs/trace.hpp"
 
 namespace hydra::transport {
@@ -164,6 +165,9 @@ void ThreadNetwork::post(PartyId from, PartyId to, sim::Message msg) {
     const std::lock_guard lock(delay_mutex_);
     d = delay_model_->delay(from, to, now, msg, delay_rng_);
   }
+  // The mailbox sequence number doubles as the trace send-event id (+1 so 0
+  // keeps meaning "no cause").
+  const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
   if (obs::enabled()) {
     auto& registry = obs::registry();
     registry.counter("net.messages").inc();
@@ -172,11 +176,13 @@ void ThreadNetwork::post(PartyId from, PartyId to, sim::Message msg) {
     // deterministic across runs (unlike simulator traces).
     if (auto* tr = obs::trace()) {
       tr->message_send(now, from, to, msg.key.tag, msg.key.a, msg.key.b,
-                       msg.kind, msg.wire_size());
+                       msg.kind, msg.wire_size(), seq + 1);
+    }
+    if (auto* mon = obs::monitors()) {
+      mon->on_send(now, from, msg.wire_size());
     }
   }
-  mailboxes_[to]->push(Mailbox::Item{
-      now + d, seq_.fetch_add(1, std::memory_order_relaxed), from, std::move(msg)});
+  mailboxes_[to]->push(Mailbox::Item{now + d, seq, from, std::move(msg)});
 }
 
 ThreadNetStats ThreadNetwork::run(
@@ -212,7 +218,7 @@ ThreadNetStats ThreadNetwork::run(
           if (auto* tr = obs::trace()) {
             const auto& m = item->msg;
             tr->message_deliver(now_ticks(), item->from, id, m.key.tag, m.key.a,
-                                m.key.b, m.kind, m.wire_size());
+                                m.key.b, m.kind, m.wire_size(), item->seq + 1);
           }
         }
         party.on_message(env, item->from, item->msg);

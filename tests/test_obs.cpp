@@ -6,12 +6,14 @@
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <set>
 #include <sstream>
 #include <string>
 
 #include "common/log.hpp"
 #include "harness/runner.hpp"
 #include "obs/convert.hpp"
+#include "obs/flatjson.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -195,6 +197,49 @@ TEST(Obs, TraceIsDeterministicAcrossReruns) {
 
   std::remove(path_a.c_str());
   std::remove(path_b.c_str());
+}
+
+// Satellite: every traced send carries a unique event id, and every traced
+// deliver names the id of the send that caused it. The schema change must
+// not disturb same-seed byte-determinism (covered above: the determinism
+// test reruns with ids present).
+TEST(Obs, SendIdsAreUniqueAndDeliverCausesResolve) {
+  const std::string path = testing::TempDir() + "hydra_obs_causal.jsonl";
+  auto spec = small_spec(11);
+  spec.trace_out = path;
+  const auto result = harness::execute(spec);
+  EXPECT_TRUE(result.verdict.d_aa());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::set<std::uint64_t> send_ids;
+  std::size_t sends = 0;
+  std::size_t delivers = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto kv = obs::flatjson::parse_flat_object(line);
+    const auto ev = kv.find("ev");
+    if (ev == kv.end()) continue;
+    if (ev->second == "send") {
+      ++sends;
+      ASSERT_TRUE(kv.contains("id")) << line;
+      const auto id = obs::flatjson::num(kv, "id");
+      EXPECT_GT(id, 0) << line;
+      EXPECT_TRUE(send_ids.insert(static_cast<std::uint64_t>(id)).second)
+          << "duplicate send id: " << line;
+    } else if (ev->second == "deliver") {
+      ++delivers;
+      ASSERT_TRUE(kv.contains("cause")) << line;
+      const auto cause = obs::flatjson::num(kv, "cause");
+      EXPECT_TRUE(send_ids.contains(static_cast<std::uint64_t>(cause)))
+          << "deliver cause does not match any prior send: " << line;
+    }
+  }
+  EXPECT_GT(sends, 0u);
+  EXPECT_EQ(sends, delivers);  // FixedDelay-free sync net still delivers all
+  EXPECT_EQ(sends, result.messages);
+
+  std::remove(path.c_str());
 }
 
 TEST(Obs, MetricsJsonIsWritten) {

@@ -296,6 +296,42 @@ TEST(ObsContext, ScopedContextIsolatesRegistryAndFallbacks) {
             R"({"counters":{},"gauges":{},"histograms":{}})");
 }
 
+// Monitors live inside each run's obs::Context, so a parallel sweep must
+// attribute violations to exactly the runs whose spec injects the fault —
+// identical counts to the sequential sweep, with the clean half untouched.
+TEST(ObsContext, MonitorsAreIsolatedAcrossParallelSweepRuns) {
+  std::vector<harness::RunSpec> grid;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    auto spec = small_spec(seed, harness::Network::kSyncJitter);
+    spec.monitors = obs::MonitorMode::kRecord;
+    // Fault half the grid: odd seeds use the deliberately faulty aggregation.
+    if (seed % 2 == 1) spec.params.test_faulty_escape = 50.0;
+    grid.push_back(spec);
+  }
+
+  const auto seq = harness::run_sweep(grid, 1);
+  const auto par = harness::run_sweep(grid, 4);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].monitor_violations, par[i].monitor_violations) << i;
+    if (grid[i].params.test_faulty_escape != 0.0) {
+      EXPECT_GT(par[i].monitor_violations, 0u) << i;
+    } else {
+      EXPECT_EQ(par[i].monitor_violations, 0u) << i;  // no cross-run bleed
+    }
+  }
+
+  // The summary JSON totals the per-run counts.
+  const std::string path = testing::TempDir() + "sweep_monitor_summary.json";
+  ASSERT_TRUE(harness::write_sweep_summary_json(path, grid, par, 4));
+  const std::string json = slurp(path);
+  std::uint64_t expected = 0;
+  for (const auto& r : par) expected += r.monitor_violations;
+  EXPECT_NE(json.find("\"monitor_violations\":" + std::to_string(expected)),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
 // ------------------------------------------------- concurrent thread networks
 
 // Two ThreadNetwork instances running at the same time must keep fully

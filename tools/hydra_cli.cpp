@@ -1,8 +1,10 @@
 // hydra — command-line driver for single runs and seed sweeps.
 //
-//   hydra run   [options]     execute one run, print the verdict and metrics
-//   hydra sweep [options]     execute --seeds runs (in parallel), print the
+//   hydra run    [options]    execute one run, print the verdict and metrics
+//   hydra sweep  [options]    execute --seeds runs (in parallel), print the
 //                             pass rate
+//   hydra report [options]    render a trace (+ metrics) into a readable
+//                             report (markdown or single-file HTML)
 //   hydra list                print the accepted option values
 //
 // Options (with defaults):
@@ -29,15 +31,29 @@
 //   --metrics-json PATH   metrics snapshot (per-round counts, registry dump)
 //   --log-level LEVEL     off|error|info|debug|trace (default error, so a
 //                         failing --trace-out/--metrics-json path is reported)
+//   --monitors MODE       off|record|strict — online invariant monitors
+//                         (docs/OBSERVABILITY.md "Invariant monitors");
+//                         strict aborts the run on the first violation
 // In sweep mode each seed writes PATH with a ".s<seed>" suffix before the
 // extension, so no seed overwrites another.
 //
-// Exit status: 0 when every executed run satisfied D-AA, 1 otherwise —
-// usable directly in scripts and CI.
+// hydra report options:
+//   --trace PATH          the JSONL trace to analyse (required)
+//   --metrics PATH        the run's --metrics-json document (optional)
+//   --out PATH            output file (default: stdout)
+//   --format md|html      report format (default md)
+//
+// Exit status: 0 when every executed run satisfied D-AA *and* no invariant
+// monitor recorded a violation, 1 otherwise — usable directly in scripts
+// and CI (sweeps with a non-empty failure list or any monitor violation
+// exit 1).
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <limits>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -46,6 +62,8 @@
 #include "harness/stats.hpp"
 #include "harness/sweep.hpp"
 #include "harness/table.hpp"
+#include "obs/monitor.hpp"
+#include "obs/report.hpp"
 
 using namespace hydra;
 using namespace hydra::harness;
@@ -62,10 +80,11 @@ struct Options {
 [[noreturn]] void usage(const char* error = nullptr) {
   if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
   std::fprintf(stderr,
-               "usage: hydra <run|sweep|list> [--key value | --key=value ...]\n"
+               "usage: hydra <run|sweep|report|list> [--key value | --key=value ...]\n"
                "keys: n ts ta dim eps delta protocol network adversary corrupt\n"
                "      workload scale seed seeds aggregation jobs sweep-json\n"
-               "      trace-out metrics-json log-level\n"
+               "      trace-out metrics-json log-level monitors\n"
+               "report keys: trace metrics out format title\n"
                "run `hydra list` for accepted values.\n");
   std::exit(2);
 }
@@ -79,6 +98,8 @@ void list_values() {
   std::printf("workload   : ball simplex clustered collinear gaussian\n");
   std::printf("aggregation: midpoint centroid\n");
   std::printf("log-level  : off error info debug trace\n");
+  std::printf("monitors   : off record strict\n");
+  std::printf("format     : md html (hydra report)\n");
 }
 
 Options parse(int argc, char** argv) {
@@ -163,6 +184,11 @@ Options parse(int argc, char** argv) {
     if (!level) usage("unknown log-level");
     set_log_level(*level);
   }
+  if (const auto it = kv.find("monitors"); it != kv.end()) {
+    const auto mode = obs::parse_monitor_mode(it->second);
+    if (!mode) usage("unknown monitors mode (off|record|strict)");
+    spec.monitors = *mode;
+  }
   if (const auto it = kv.find("aggregation"); it != kv.end()) {
     if (it->second == "centroid") {
       spec.params.aggregation = protocols::Aggregation::kCentroid;
@@ -198,8 +224,22 @@ int cmd_run(const Options& opts) {
   table.row({"T estimates", fmt(result.min_estimate) + ".." + fmt(result.max_estimate)});
   table.row({"max msgs by one party", fmt(result.max_sent_by_party)});
   table.row({"safe-area fallbacks", fmt(result.safe_area_fallbacks)});
+  if (opts.spec.monitors != obs::MonitorMode::kOff) {
+    table.row({"monitors", obs::to_string(opts.spec.monitors)});
+    table.row({"monitor violations", fmt(result.monitor_violations)});
+    if (result.monitor_aborted) table.row({"monitor abort", "STRICT ABORT"});
+  }
   table.print();
-  return result.verdict.d_aa() ? 0 : 1;
+  if (result.monitor_violations > 0) {
+    std::printf("\ninvariant violations:\n");
+    for (const auto& v : result.violations) {
+      std::printf("  t=%lld party=%u it=%u cause=%llu [%s] %s\n",
+                  static_cast<long long>(v.at), v.party, v.iteration,
+                  static_cast<unsigned long long>(v.cause), v.monitor.c_str(),
+                  v.detail.c_str());
+    }
+  }
+  return result.verdict.d_aa() && result.monitor_violations == 0 ? 0 : 1;
 }
 
 /// "t.jsonl" -> "t.s7.jsonl"; extensionless paths get the suffix appended.
@@ -231,6 +271,7 @@ int cmd_sweep(const Options& opts) {
 
   std::size_t pass = 0;
   std::vector<std::uint64_t> failures;
+  std::uint64_t monitor_violations = 0;
   Stats rounds;
   Stats messages;
   Stats diameters;
@@ -242,6 +283,7 @@ int cmd_sweep(const Options& opts) {
     } else {
       failures.push_back(grid[i].seed);
     }
+    monitor_violations += result.monitor_violations;
     rounds.add(result.rounds);
     messages.add(static_cast<double>(result.messages));
     diameters.add(result.verdict.output_diameter);
@@ -269,11 +311,85 @@ int cmd_sweep(const Options& opts) {
     for (auto s : failures) std::printf(" %llu", static_cast<unsigned long long>(s));
     std::printf("\n");
   }
+  if (monitor_violations > 0) {
+    std::printf("\n%llu invariant-monitor violation(s) across the sweep\n",
+                static_cast<unsigned long long>(monitor_violations));
+  }
   if (!opts.sweep_json.empty() &&
       !write_sweep_summary_json(opts.sweep_json, grid, results, opts.jobs)) {
     return 1;
   }
-  return failures.empty() ? 0 : 1;
+  // Exit-code contract (README): any D-AA failure OR any recorded monitor
+  // violation makes the sweep exit non-zero, so scripted sweeps can't
+  // silently pass.
+  return failures.empty() && monitor_violations == 0 ? 0 : 1;
+}
+
+int cmd_report(int argc, char** argv) {
+  std::map<std::string, std::string> kv;
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) usage("malformed options");
+    key = key.substr(2);
+    if (const auto eq = key.find('='); eq != std::string::npos) {
+      kv[key.substr(0, eq)] = key.substr(eq + 1);
+    } else {
+      if (i + 1 >= argc) usage("malformed options");
+      kv[key] = argv[++i];
+    }
+  }
+  const auto trace_path = kv.find("trace");
+  if (trace_path == kv.end()) usage("report requires --trace PATH");
+
+  std::ifstream trace(trace_path->second);
+  if (!trace) {
+    std::fprintf(stderr, "error: cannot read trace %s\n",
+                 trace_path->second.c_str());
+    return 1;
+  }
+
+  std::string metrics;
+  if (const auto it = kv.find("metrics"); it != kv.end()) {
+    std::ifstream in(it->second);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot read metrics %s\n", it->second.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    metrics = buffer.str();
+  }
+
+  obs::ReportOptions options;
+  if (const auto it = kv.find("format"); it != kv.end()) {
+    if (it->second == "html") {
+      options.format = obs::ReportOptions::Format::kHtml;
+    } else if (it->second != "md") {
+      usage("unknown format (md|html)");
+    }
+  }
+  if (const auto it = kv.find("title"); it != kv.end()) options.title = it->second;
+
+  const auto render = [&](std::ostream& out) {
+    return obs::render_report(trace, metrics, options, out);
+  };
+  std::size_t events = 0;
+  if (const auto it = kv.find("out"); it != kv.end()) {
+    std::ofstream out(it->second);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", it->second.c_str());
+      return 1;
+    }
+    events = render(out);
+  } else {
+    events = render(std::cout);
+  }
+  if (events == 0) {
+    std::fprintf(stderr, "error: no trace events in %s\n",
+                 trace_path->second.c_str());
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -285,6 +401,7 @@ int main(int argc, char** argv) {
     list_values();
     return 0;
   }
+  if (command == "report") return cmd_report(argc, argv);
   const auto opts = parse(argc, argv);
   if (command == "run") return cmd_run(opts);
   if (command == "sweep") return cmd_sweep(opts);

@@ -1,0 +1,89 @@
+// trace_report — JSONL trace (+ optional metrics JSON) to a human-readable
+// run report; the standalone twin of `hydra report`.
+//
+//   trace_report IN.jsonl [--metrics RUN.json] [--out OUT.md] [--format md|html]
+//
+// Output defaults to stdout. The rendering lives in obs/report.hpp so tests
+// can cover it.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/report.hpp"
+
+int main(int argc, char** argv) {
+  std::string in_path;
+  std::string metrics_path;
+  std::string out_path;
+  hydra::obs::ReportOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "trace_report: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--metrics") {
+      metrics_path = value();
+    } else if (arg == "--out") {
+      out_path = value();
+    } else if (arg == "--format") {
+      const std::string format = value();
+      if (format == "html") {
+        options.format = hydra::obs::ReportOptions::Format::kHtml;
+      } else if (format != "md") {
+        std::fprintf(stderr, "trace_report: unknown format %s\n", format.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "usage: trace_report IN.jsonl [--metrics RUN.json] "
+                   "[--out OUT] [--format md|html]\n");
+      return 2;
+    } else {
+      in_path = arg;
+    }
+  }
+  if (in_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: trace_report IN.jsonl [--metrics RUN.json] "
+                 "[--out OUT] [--format md|html]\n");
+    return 2;
+  }
+
+  std::ifstream in(in_path);
+  if (!in) {
+    std::fprintf(stderr, "trace_report: cannot read %s\n", in_path.c_str());
+    return 1;
+  }
+  std::string metrics;
+  if (!metrics_path.empty()) {
+    std::ifstream m(metrics_path);
+    if (!m) {
+      std::fprintf(stderr, "trace_report: cannot read %s\n", metrics_path.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << m.rdbuf();
+    metrics = buffer.str();
+  }
+
+  std::size_t events = 0;
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "trace_report: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    events = hydra::obs::render_report(in, metrics, options, out);
+    std::printf("%zu events -> %s\n", events, out_path.c_str());
+  } else {
+    events = hydra::obs::render_report(in, metrics, options, std::cout);
+  }
+  return events > 0 ? 0 : 1;
+}
