@@ -21,11 +21,12 @@ namespace {
 /// the raw event-loop overhead without protocol logic.
 class PingParty : public sim::IParty {
  public:
-  explicit PingParty(int hops) : hops_(hops) {}
+  explicit PingParty(int hops, std::size_t payload_bytes = 0)
+      : hops_(hops), payload_bytes_(payload_bytes) {}
 
   void start(sim::Env& env) override {
     env.send((env.self() + 1) % static_cast<PartyId>(env.n()),
-             sim::Message{InstanceKey{1, 0, 0}, 0, {}});
+             sim::Message{InstanceKey{1, 0, 0}, 0, Bytes(payload_bytes_, 0xab)});
   }
 
   void on_message(sim::Env& env, PartyId, const sim::Message& msg) override {
@@ -39,6 +40,7 @@ class PingParty : public sim::IParty {
 
  private:
   int hops_;
+  std::size_t payload_bytes_;
 };
 
 void BM_EventLoopThroughput(benchmark::State& state) {
@@ -57,6 +59,35 @@ void BM_EventLoopThroughput(benchmark::State& state) {
       static_cast<double>(events), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_EventLoopThroughput)->Arg(4)->Arg(16)->Arg(64);
+
+/// Same ping topology but each message drags a payload. Events whose
+/// closures own a heap buffer are exactly where the event loop's
+/// move-on-pop (vs. copy-then-pop) discipline shows up: with a copying
+/// pop every dequeue clones the payload once for nothing.
+void BM_EventLoopThroughputPayload(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto payload_bytes = static_cast<std::size_t>(state.range(1));
+  std::uint64_t events = 0;
+  std::uint64_t moved_bytes = 0;
+  for (auto _ : state) {
+    sim::Simulation sim({.n = n, .delta = 10, .seed = 1},
+                        std::make_unique<sim::FixedDelay>(10));
+    for (std::size_t i = 0; i < n; ++i) {
+      sim.add_party(std::make_unique<PingParty>(200, payload_bytes));
+    }
+    const auto stats = sim.run();
+    events += stats.events;
+    moved_bytes += stats.bytes;
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["payload_B/s"] = benchmark::Counter(
+      static_cast<double>(moved_bytes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventLoopThroughputPayload)
+    ->Args({16, 0})
+    ->Args({16, 1024})
+    ->Args({16, 16384});
 
 void BM_FullAaRun(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

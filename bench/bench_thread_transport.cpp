@@ -7,8 +7,12 @@
 // simulator artifact.
 #include <cstdio>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
+#include "common/assert.hpp"
+#include "faults/faults.hpp"
 #include "geometry/convex.hpp"
 #include "harness/table.hpp"
 #include "harness/workloads.hpp"
@@ -25,6 +29,7 @@ namespace {
 struct Case {
   std::size_t n, ts, ta, dim;
   bool async_delays;
+  const char* faults = "";  ///< docs/ROBUSTNESS.md grammar; "" = clean run
 };
 
 }  // namespace
@@ -32,12 +37,19 @@ struct Case {
 int main() {
   std::printf("== T7: ΠAA on the real-thread transport (1 OS thread per party, "
               "1 tick = 20 us) ==\n\n");
-  harness::Table table({"n", "ts", "ta", "D", "delays", "wall ms", "messages",
-                        "out-diam", "live", "valid", "agree"});
+  harness::Table table({"n", "ts", "ta", "D", "delays", "faults", "wall ms",
+                        "messages", "out-diam", "live", "valid", "agree"});
 
   const std::vector<Case> cases{
-      {4, 1, 0, 2, false}, {5, 1, 1, 2, false}, {5, 1, 1, 2, true},
-      {5, 1, 0, 3, false}, {7, 2, 0, 2, false},
+      {4, 1, 0, 2, false},
+      {5, 1, 1, 2, false},
+      {5, 1, 1, 2, true},
+      {5, 1, 0, 3, false},
+      {7, 2, 0, 2, false},
+      // Duplication + bounded reorder must not change any verdict: the
+      // protocol tolerates both, and the injector clamps skew to delta in
+      // synchronous networks (docs/ROBUSTNESS.md).
+      {5, 1, 1, 2, false, "dup(p=0.3);reorder(p=0.3,skew=250)"},
   };
 
   for (const auto& c : cases) {
@@ -63,6 +75,17 @@ int main() {
          .timeout_ms = 60'000},
         std::move(model));
 
+    std::string fault_error;
+    const auto plan = faults::parse_fault_plan(c.faults, &fault_error);
+    HYDRA_ASSERT_MSG(plan.has_value(), fault_error.c_str());
+    std::optional<faults::FaultInjector> injector;
+    if (!plan->empty()) {
+      injector.emplace(*plan, faults::FaultInjector::Config{
+                                  .seed = c.n, .synchronous = !c.async_delays,
+                                  .delta = p.delta});
+      net.set_fault_injector(&*injector);
+    }
+
     std::vector<std::unique_ptr<sim::IParty>> parties;
     std::vector<AaParty*> raw;
     for (std::size_t i = 0; i < c.n; ++i) {
@@ -87,6 +110,7 @@ int main() {
     table.row({harness::fmt(std::uint64_t{c.n}), harness::fmt(std::uint64_t{c.ts}),
                harness::fmt(std::uint64_t{c.ta}), harness::fmt(std::uint64_t{c.dim}),
                c.async_delays ? "async-exp" : "sync-jitter",
+               c.faults[0] != '\0' ? "dup+reorder" : "-",
                harness::fmt(std::uint64_t(stats.wall_ms)), harness::fmt(stats.messages),
                harness::fmt(diam), harness::fmt_ok(live), harness::fmt_ok(valid),
                harness::fmt_ok(diam <= p.eps + 1e-9)});

@@ -58,9 +58,11 @@ void BaselineSim::schedule_phase(Time at, Phase phase, std::function<void()> fn)
 }
 
 void BaselineSim::deliver(PartyId from, PartyId to, sim::Message msg) {
-  messages_ += 1;
-  bytes_ += msg.wire_size();
-  stats_sent_[from] += 1;
+  if (from != to) {
+    messages_ += 1;
+    bytes_ += msg.wire_size();
+    stats_sent_[from] += 1;
+  }
   const Duration d =
       from == to ? 0 : delay_model_->delay(from, to, now_, msg, rng_);
   HYDRA_ASSERT(from == to || d >= 1);
@@ -78,7 +80,9 @@ std::uint64_t BaselineSim::run() {
   }
   while (!queue_.empty()) {
     if (events_ >= config_.max_events || queue_.top().at > config_.max_time) break;
-    Event ev = queue_.top();
+    // Move-on-pop, mirroring sim::Simulation: top() is const but the
+    // comparator only reads scalar fields, so gutting the closure is safe.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     HYDRA_ASSERT(ev.at >= now_);
     now_ = ev.at;

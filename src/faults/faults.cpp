@@ -1,0 +1,392 @@
+#include "faults/faults.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "obs/trace.hpp"
+
+namespace hydra::faults {
+namespace {
+
+/// Splits `text` on `sep`, dropping empty pieces (so trailing separators and
+/// "a;;b" are accepted).
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  while (!text.empty()) {
+    const auto pos = text.find(sep);
+    const auto piece = text.substr(0, pos);
+    if (!piece.empty()) out.push_back(piece);
+    if (pos == std::string_view::npos) break;
+    text.remove_prefix(pos + 1);
+  }
+  return out;
+}
+
+bool parse_double(std::string_view text, double* out) {
+  const std::string owned(text);
+  char* end = nullptr;
+  const double v = std::strtod(owned.c_str(), &end);
+  if (end == owned.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_i64(std::string_view text, std::int64_t* out) {
+  const std::string owned(text);
+  char* end = nullptr;
+  const long long v = std::strtoll(owned.c_str(), &end, 10);
+  if (end == owned.c_str() || *end != '\0') return false;
+  *out = static_cast<std::int64_t>(v);
+  return true;
+}
+
+bool fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+struct Clause {
+  std::string_view name;
+  std::vector<std::pair<std::string_view, std::string_view>> kv;
+};
+
+/// Parses "name(k=v,k=v)" into its pieces.
+bool parse_clause(std::string_view text, Clause* out, std::string* error) {
+  const auto open = text.find('(');
+  if (open == std::string_view::npos || text.back() != ')') {
+    return fail(error, "clause '" + std::string(text) + "' is not name(k=v,...)");
+  }
+  out->name = text.substr(0, open);
+  const auto body = text.substr(open + 1, text.size() - open - 2);
+  for (const auto piece : split(body, ',')) {
+    const auto eq = piece.find('=');
+    if (eq == std::string_view::npos) {
+      return fail(error, "expected key=value in '" + std::string(piece) + "'");
+    }
+    out->kv.emplace_back(piece.substr(0, eq), piece.substr(eq + 1));
+  }
+  return true;
+}
+
+bool parse_probability(const Clause& clause, std::string_view key,
+                       std::string_view value, double* out, std::string* error) {
+  if (!parse_double(value, out) || *out < 0.0 || *out > 1.0) {
+    return fail(error, std::string(clause.name) + ": " + std::string(key) +
+                           " must be a probability in [0,1]");
+  }
+  return true;
+}
+
+bool parse_tick(const Clause& clause, std::string_view key, std::string_view value,
+                std::int64_t* out, std::string* error) {
+  if (!parse_i64(value, out) || *out < 0) {
+    return fail(error, std::string(clause.name) + ": " + std::string(key) +
+                           " must be a non-negative tick count");
+  }
+  return true;
+}
+
+bool unknown_key(const Clause& clause, std::string_view key, std::string* error) {
+  fail(error, std::string(clause.name) + ": unknown key '" + std::string(key) + "'");
+  return false;
+}
+
+}  // namespace
+
+bool FaultPlan::crashes_party(PartyId id) const noexcept {
+  return std::any_of(crashes.begin(), crashes.end(),
+                     [id](const CrashClause& c) { return c.party == id; });
+}
+
+std::optional<Time> FaultPlan::crash_stop_at(PartyId id) const noexcept {
+  std::optional<Time> at;
+  for (const auto& c : crashes) {
+    if (c.party == id && c.until == kTimeInfinity) {
+      at = at.has_value() ? std::min(*at, c.at) : c.at;
+    }
+  }
+  return at;
+}
+
+PartyId FaultPlan::max_party() const noexcept {
+  PartyId max = 0;
+  for (const auto& c : crashes) max = std::max(max, c.party);
+  for (const auto& p : partitions) {
+    for (const auto id : p.group) max = std::max(max, id);
+  }
+  return max;
+}
+
+std::optional<FaultPlan> parse_fault_plan(std::string_view spec, std::string* error) {
+  FaultPlan plan;
+  for (const auto text : split(spec, ';')) {
+    Clause clause;
+    if (!parse_clause(text, &clause, error)) return std::nullopt;
+
+    if (clause.name == "dup") {
+      if (plan.dup.has_value()) {
+        fail(error, "duplicate dup(...) clause");
+        return std::nullopt;
+      }
+      DupClause dup;
+      for (const auto& [key, value] : clause.kv) {
+        if (key == "p") {
+          if (!parse_probability(clause, key, value, &dup.p, error)) return std::nullopt;
+        } else if (key == "skew") {
+          std::int64_t skew = 0;
+          if (!parse_tick(clause, key, value, &skew, error)) return std::nullopt;
+          dup.skew = skew;
+        } else {
+          unknown_key(clause, key, error);
+          return std::nullopt;
+        }
+      }
+      plan.dup = dup;
+    } else if (clause.name == "reorder") {
+      if (plan.reorder.has_value()) {
+        fail(error, "duplicate reorder(...) clause");
+        return std::nullopt;
+      }
+      ReorderClause reorder;
+      for (const auto& [key, value] : clause.kv) {
+        if (key == "p") {
+          if (!parse_probability(clause, key, value, &reorder.p, error)) {
+            return std::nullopt;
+          }
+        } else if (key == "skew") {
+          std::int64_t skew = 0;
+          if (!parse_tick(clause, key, value, &skew, error)) return std::nullopt;
+          reorder.skew = skew;
+        } else {
+          unknown_key(clause, key, error);
+          return std::nullopt;
+        }
+      }
+      plan.reorder = reorder;
+    } else if (clause.name == "crash") {
+      CrashClause crash;
+      bool have_party = false;
+      for (const auto& [key, value] : clause.kv) {
+        std::int64_t v = 0;
+        if (key == "party") {
+          if (!parse_tick(clause, key, value, &v, error)) return std::nullopt;
+          crash.party = static_cast<PartyId>(v);
+          have_party = true;
+        } else if (key == "at") {
+          if (!parse_tick(clause, key, value, &v, error)) return std::nullopt;
+          crash.at = v;
+        } else if (key == "until") {
+          if (!parse_tick(clause, key, value, &v, error)) return std::nullopt;
+          crash.until = v;
+        } else {
+          unknown_key(clause, key, error);
+          return std::nullopt;
+        }
+      }
+      if (!have_party) {
+        fail(error, "crash: missing party=");
+        return std::nullopt;
+      }
+      if (crash.until <= crash.at) {
+        fail(error, "crash: until must be > at");
+        return std::nullopt;
+      }
+      plan.crashes.push_back(crash);
+    } else if (clause.name == "partition") {
+      PartitionClause part;
+      for (const auto& [key, value] : clause.kv) {
+        if (key == "group") {
+          for (const auto id_text : split(value, '.')) {
+            std::int64_t id = 0;
+            if (!parse_tick(clause, key, id_text, &id, error)) return std::nullopt;
+            part.group.push_back(static_cast<PartyId>(id));
+          }
+        } else if (key == "from") {
+          std::int64_t v = 0;
+          if (!parse_tick(clause, key, value, &v, error)) return std::nullopt;
+          part.from = v;
+        } else if (key == "until") {
+          std::int64_t v = 0;
+          if (!parse_tick(clause, key, value, &v, error)) return std::nullopt;
+          part.until = v;
+        } else {
+          unknown_key(clause, key, error);
+          return std::nullopt;
+        }
+      }
+      if (part.group.empty()) {
+        fail(error, "partition: missing or empty group=");
+        return std::nullopt;
+      }
+      if (part.until <= part.from) {
+        fail(error, "partition: until must be > from");
+        return std::nullopt;
+      }
+      std::sort(part.group.begin(), part.group.end());
+      part.group.erase(std::unique(part.group.begin(), part.group.end()),
+                       part.group.end());
+      plan.partitions.push_back(std::move(part));
+    } else {
+      fail(error, "unknown fault clause '" + std::string(clause.name) + "'");
+      return std::nullopt;
+    }
+  }
+  return plan;
+}
+
+std::string to_string(const FaultPlan& plan) {
+  std::ostringstream out;
+  const char* sep = "";
+  if (plan.dup) {
+    out << sep << "dup(p=" << plan.dup->p;
+    if (plan.dup->skew > 0) out << ",skew=" << plan.dup->skew;
+    out << ')';
+    sep = ";";
+  }
+  if (plan.reorder) {
+    out << sep << "reorder(p=" << plan.reorder->p;
+    if (plan.reorder->skew > 0) out << ",skew=" << plan.reorder->skew;
+    out << ')';
+    sep = ";";
+  }
+  for (const auto& c : plan.crashes) {
+    out << sep << "crash(party=" << c.party << ",at=" << c.at;
+    if (c.until != kTimeInfinity) out << ",until=" << c.until;
+    out << ')';
+    sep = ";";
+  }
+  for (const auto& p : plan.partitions) {
+    out << sep << "partition(group=";
+    for (std::size_t i = 0; i < p.group.size(); ++i) {
+      if (i > 0) out << '.';
+      out << p.group[i];
+    }
+    out << ",from=" << p.from << ",until=" << p.until << ')';
+    sep = ";";
+  }
+  return out.str();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, Config config)
+    : plan_(std::move(plan)),
+      config_(config),
+      // Private stream: mixing a fixed tag into the run seed keeps the
+      // injector's draws uncorrelated with the DelayModel's (same xoshiro
+      // family, same seed would otherwise replay the delay stream).
+      rng_(config.seed ^ 0xfa017ab1e5eed5ULL) {
+  HYDRA_ASSERT(config_.delta >= 1);
+}
+
+bool FaultInjector::crashed(PartyId party, Time t) const noexcept {
+  for (const auto& c : plan_.crashes) {
+    if (c.party == party && t >= c.at && t < c.until) return true;
+  }
+  return false;
+}
+
+FaultInjector::Outcome FaultInjector::on_message(PartyId from, PartyId to, Time now,
+                                                 Duration base) {
+  Outcome out;
+  out.delays[0] = base;
+
+  // Crashed endpoints: the only legal message loss in the hybrid model.
+  if (crashed(from, now)) {
+    out.dropped = true;
+    out.reason = "crash-sender";
+    const std::lock_guard lock(mutex_);
+    totals_.dropped += 1;
+    return out;
+  }
+  // Self-delivery is local computation; links cannot touch it.
+  if (from == to) return out;
+
+  const std::lock_guard lock(mutex_);
+  Duration d = base;
+  bool delayed = false;
+
+  // Partition: messages crossing the cut while it is open are HELD until the
+  // heal tick plus their base delay — delayed, never lost. An open partition
+  // is by definition an asynchrony violation, so no Delta clamp applies.
+  for (const auto& part : plan_.partitions) {
+    if (now < part.from || now >= part.until) continue;
+    const bool from_inside =
+        std::binary_search(part.group.begin(), part.group.end(), from);
+    const bool to_inside = std::binary_search(part.group.begin(), part.group.end(), to);
+    if (from_inside != to_inside) {
+      d = std::max(d, (part.until - now) + base);
+      delayed = true;
+    }
+  }
+
+  // Reorder: bounded skew under synchrony (total delay stays <= max(base,
+  // Delta), so the sync contract holds), unbounded-but-finite otherwise.
+  if (plan_.reorder && rng_.next_double() < plan_.reorder->p) {
+    const Duration bound =
+        plan_.reorder->skew > 0 ? plan_.reorder->skew : config_.delta;
+    const Duration extra = rng_.next_int(1, std::max<Duration>(1, bound));
+    Duration skewed = d + extra;
+    if (config_.synchronous) skewed = std::min(skewed, std::max(base, config_.delta));
+    if (skewed != d) {
+      d = skewed;
+      delayed = true;
+    }
+  }
+
+  out.delays[0] = d;
+  if (delayed) totals_.delayed += 1;
+
+  // Duplication: the copy is pure network noise — it is never counted as a
+  // party send and arrives no earlier than the primary.
+  if (plan_.dup && rng_.next_double() < plan_.dup->p) {
+    const Duration bound = plan_.dup->skew > 0 ? plan_.dup->skew : config_.delta;
+    Duration copy = d + rng_.next_int(1, std::max<Duration>(1, bound));
+    if (config_.synchronous) copy = std::max(d, std::min(copy, std::max(base, config_.delta)));
+    if (!crashed(to, now + copy)) {
+      out.duplicated = true;
+      out.delays[1] = copy;
+      totals_.duplicated += 1;
+    }
+  }
+
+  // A receiver inside a crash window at delivery time loses the message —
+  // the endpoint is down, not the link.
+  if (crashed(to, now + d)) {
+    out.dropped = true;
+    out.duplicated = false;
+    out.reason = "crash-receiver";
+    totals_.dropped += 1;
+  }
+  return out;
+}
+
+void FaultInjector::emit_timeline() const {
+  auto* tr = obs::trace();
+  if (tr == nullptr) return;
+  for (const auto& c : plan_.crashes) {
+    tr->fault(c.at, "crash", static_cast<std::int64_t>(c.party), -1, 0,
+              c.until == kTimeInfinity ? "crash-stop" : "crash-recover");
+    if (c.until != kTimeInfinity) {
+      tr->fault(c.until, "recover", static_cast<std::int64_t>(c.party), -1, 0, "");
+    }
+  }
+  for (const auto& p : plan_.partitions) {
+    std::ostringstream group;
+    group << "group=";
+    for (std::size_t i = 0; i < p.group.size(); ++i) {
+      if (i > 0) group << '.';
+      group << p.group[i];
+    }
+    tr->fault(p.from, "partition", -1, -1, 0, group.str());
+    tr->fault(p.until, "heal", -1, -1, 0, group.str());
+  }
+}
+
+FaultInjector::Totals FaultInjector::totals() const {
+  const std::lock_guard lock(mutex_);
+  return totals_;
+}
+
+}  // namespace hydra::faults

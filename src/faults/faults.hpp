@@ -1,0 +1,139 @@
+// Deterministic, seed-driven fault injection for both transports.
+//
+// A FaultPlan is the declarative description parsed from a `--faults=` spec
+// string; a FaultInjector compiles it against one run (seed, synchrony flag,
+// Delta) and sits between the DelayModel and the delivery queue. It can
+//
+//   - duplicate messages            dup(p=0.2[,skew=T])
+//   - reorder them                  reorder(p=0.5[,skew=T])
+//   - crash-stop / crash-recover    crash(party=I,at=T[,until=T])
+//   - partition with scheduled heal partition(group=I.J.K,from=T,until=T)
+//
+// Hybrid-model contract (docs/ROBUSTNESS.md): the injector may DELAY or
+// DUPLICATE honest→honest traffic but never lose it — the only drops it
+// performs model a crashed endpoint (sender dead at send time, or receiver
+// dead at delivery time), which the paper treats as a faulty party, not a
+// faulty link. Under a synchronous network condition reorder skew is clamped
+// so no delivery exceeds max(base, Delta); partitions are by construction an
+// asynchrony violation and are only meaningful when judging against ta.
+//
+// Determinism: the injector draws from its OWN Rng (derived from the run
+// seed), never from the transport's, so enabling a fault plan perturbs the
+// delay stream of neither transport beyond the faults themselves, and the
+// same (plan, seed) pair replays the same fault schedule on every run.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace hydra::faults {
+
+struct DupClause {
+  double p = 0.2;      ///< per-message duplication probability
+  Duration skew = 0;   ///< extra delay bound for the copy; 0 = use Delta
+};
+
+struct ReorderClause {
+  double p = 0.5;      ///< per-message probability of extra skew
+  Duration skew = 0;   ///< extra delay drawn from [1, skew]; 0 = use Delta
+};
+
+struct CrashClause {
+  PartyId party = 0;
+  Time at = 0;                    ///< first tick at which the party is down
+  Time until = kTimeInfinity;     ///< recovery tick; infinity = crash-stop
+};
+
+struct PartitionClause {
+  std::vector<PartyId> group;     ///< one side of the cut (sorted, unique)
+  Time from = 0;                  ///< first tick of the partition window
+  Time until = 0;                 ///< heal tick (exclusive)
+};
+
+/// Parsed form of a `--faults=` spec: semicolon-separated clauses.
+struct FaultPlan {
+  std::optional<DupClause> dup;
+  std::optional<ReorderClause> reorder;
+  std::vector<CrashClause> crashes;
+  std::vector<PartitionClause> partitions;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return !dup && !reorder && crashes.empty() && partitions.empty();
+  }
+  /// True when any crash clause names `id` (regardless of window).
+  [[nodiscard]] bool crashes_party(PartyId id) const noexcept;
+  /// Tick of a crash-stop (no recovery) clause for `id`, if any.
+  [[nodiscard]] std::optional<Time> crash_stop_at(PartyId id) const noexcept;
+  /// Largest party id referenced anywhere (0 when none) — validate < n.
+  [[nodiscard]] PartyId max_party() const noexcept;
+};
+
+/// Parses a fault spec string (grammar in docs/ROBUSTNESS.md). Returns
+/// nullopt on malformed input and, when `error` is non-null, a
+/// human-readable reason. The empty string parses to an empty plan.
+[[nodiscard]] std::optional<FaultPlan> parse_fault_plan(std::string_view spec,
+                                                        std::string* error = nullptr);
+
+/// Canonical round-trippable rendering of a plan ("" for the empty plan).
+[[nodiscard]] std::string to_string(const FaultPlan& plan);
+
+/// One plan compiled against one run. Thread-safe: on_message() may be
+/// called concurrently from many sender threads (ThreadNetwork).
+class FaultInjector {
+ public:
+  struct Config {
+    std::uint64_t seed = 1;     ///< derives the injector's private Rng
+    bool synchronous = false;   ///< clamp added skew so delays stay <= Delta
+    Duration delta = 1000;
+  };
+
+  /// What the injector decided for one message.
+  struct Outcome {
+    bool dropped = false;       ///< crashed endpoint; message never queued
+    bool duplicated = false;    ///< queue a second copy at delays[1]
+    std::array<Duration, 2> delays{};  ///< [0]=primary, [1]=duplicate copy
+    const char* reason = "";    ///< drop cause ("crash-sender"/"crash-receiver")
+  };
+
+  FaultInjector(FaultPlan plan, Config config);
+
+  /// Decides the fate of a message posted at `now` whose DelayModel delay is
+  /// `base` (0 for self-delivery). Every call consumes the same Rng draws
+  /// for the same plan, so the schedule is a pure function of (plan, seed,
+  /// message order).
+  [[nodiscard]] Outcome on_message(PartyId from, PartyId to, Time now, Duration base);
+
+  /// True when `party` is inside a crash window at time `t`.
+  [[nodiscard]] bool crashed(PartyId party, Time t) const noexcept;
+
+  /// Writes the scheduled fault timeline (fault.crash / fault.recover /
+  /// fault.partition / fault.heal) into the current obs trace sink, if any.
+  /// Call once per run, after the obs session is installed.
+  void emit_timeline() const;
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+  struct Totals {
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t delayed = 0;  ///< messages given extra reorder/partition delay
+  };
+  [[nodiscard]] Totals totals() const;
+
+ private:
+  FaultPlan plan_;
+  Config config_;
+  mutable std::mutex mutex_;  ///< guards rng_ and totals_
+  Rng rng_;
+  Totals totals_;
+};
+
+}  // namespace hydra::faults

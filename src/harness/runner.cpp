@@ -14,6 +14,7 @@
 #include "baselines/sync_lockstep.hpp"
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "faults/faults.hpp"
 #include "harness/stats.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -174,6 +175,7 @@ void write_metrics_json(const RunSpec& spec, const RunResult& result,
   w.kv("eps", spec.params.eps);
   w.kv("delta", std::int64_t{spec.params.delta});
   w.kv("seed", spec.seed);
+  w.kv("faults", spec.faults);
   w.end_object();
 
   w.key("verdict");
@@ -227,6 +229,14 @@ void write_metrics_json(const RunSpec& spec, const RunResult& result,
   w.kv("mode", obs::to_string(spec.monitors));
   w.kv("violations", result.monitor_violations);
   w.kv("aborted", result.monitor_aborted);
+  w.end_object();
+
+  w.key("faults");
+  w.begin_object();
+  w.kv("spec", spec.faults);
+  w.kv("drops", result.fault_drops);
+  w.kv("dups", result.fault_dups);
+  w.kv("delays", result.fault_delays);
   w.end_object();
 
   // Under an installed per-run context this is the run's own registry.
@@ -419,6 +429,20 @@ RunResult execute(const RunSpec& spec) {
   const Params& p = spec.params;
   HYDRA_ASSERT(spec.corruptions < p.n);
 
+  // The fault plan is part of the spec: a party the plan crashes is a faulty
+  // party for every judgement below, exactly like a corrupted slot — except
+  // it runs the honest protocol and dies at the network layer.
+  faults::FaultPlan fault_plan;
+  if (!spec.faults.empty()) {
+    std::string error;
+    auto parsed = faults::parse_fault_plan(spec.faults, &error);
+    HYDRA_ASSERT_MSG(parsed.has_value(), "invalid RunSpec::faults spec");
+    fault_plan = std::move(*parsed);
+    HYDRA_ASSERT_MSG(fault_plan.empty() ||
+                         fault_plan.max_party() < static_cast<PartyId>(p.n),
+                     "fault plan names a party >= n");
+  }
+
   // Inputs and the honest mask are pure functions of the spec; computing
   // them before the session starts lets the monitor config see the honest
   // inputs without emitting any observability events.
@@ -428,9 +452,11 @@ RunResult execute(const RunSpec& spec) {
   std::vector<geo::Vec> honest_inputs;
   for (PartyId id = 0; id < p.n; ++id) {
     const bool corrupt = id < spec.corruptions && spec.adversary != Adversary::kNone;
-    honest_mask[id] = !corrupt;
-    if (!corrupt) honest_inputs.push_back(inputs[id]);
+    honest_mask[id] = !corrupt && !fault_plan.crashes_party(id);
+    if (honest_mask[id]) honest_inputs.push_back(inputs[id]);
   }
+  HYDRA_ASSERT_MSG(!honest_inputs.empty(),
+                   "corruptions + fault-plan crashes leave no honest party");
 
   const ObsSession obs_session(spec,
                                make_monitor_config(spec, honest_mask, honest_inputs));
@@ -439,6 +465,19 @@ RunResult execute(const RunSpec& spec) {
       sim::SimConfig{
           .n = p.n, .delta = p.delta, .seed = spec.seed, .max_time = spec.max_time},
       make_network(spec));
+
+  std::optional<faults::FaultInjector> injector;
+  if (!fault_plan.empty()) {
+    injector.emplace(fault_plan,
+                     faults::FaultInjector::Config{
+                         .seed = spec.seed,
+                         .synchronous = is_synchronous(spec.network),
+                         .delta = p.delta});
+    sim.set_fault_injector(&*injector);
+    // The scheduled crash/partition timeline lands in the trace up front so
+    // hydra report can render it alongside the violation timeline.
+    if (obs_session.active()) injector->emit_timeline();
+  }
 
   // For the lock-step baseline, R comes from the true input diameter (the
   // baseline's "known input bounds" assumption).
@@ -454,14 +493,19 @@ RunResult execute(const RunSpec& spec) {
   std::vector<const baselines::SyncLockstepParty*> lockstep_parties;
 
   for (PartyId id = 0; id < p.n; ++id) {
-    if (!honest_mask[id]) {
+    const bool corrupt = id < spec.corruptions && spec.adversary != Adversary::kNone;
+    if (corrupt) {
       sim.add_party(make_byzantine(spec.adversary, spec, id, inputs[id], 0x9e3779b9));
       continue;
     }
+    // A fault-plan-crashed party runs the honest protocol (the injector
+    // silences it at the network layer) but is excluded from the observer
+    // lists: its outputs are not judged and its history does not feed the
+    // contraction series — it is a faulty party in the paper's sense.
     switch (spec.protocol) {
       case Protocol::kHybrid: {
         auto party = std::make_unique<AaParty>(p, inputs[id]);
-        hybrid_parties.push_back(party.get());
+        if (honest_mask[id]) hybrid_parties.push_back(party.get());
         sim.add_party(std::move(party));
         break;
       }
@@ -472,13 +516,13 @@ RunResult execute(const RunSpec& spec) {
         Params mh = p;
         mh.ta = async_mh_ta(p);
         auto party = std::make_unique<AaParty>(mh, inputs[id]);
-        hybrid_parties.push_back(party.get());
+        if (honest_mask[id]) hybrid_parties.push_back(party.get());
         sim.add_party(std::move(party));
         break;
       }
       case Protocol::kSyncLockstep: {
         auto party = std::make_unique<baselines::SyncLockstepParty>(lockstep, inputs[id]);
-        lockstep_parties.push_back(party.get());
+        if (honest_mask[id]) lockstep_parties.push_back(party.get());
         sim.add_party(std::move(party));
         break;
       }
@@ -489,6 +533,12 @@ RunResult execute(const RunSpec& spec) {
 
   RunResult result;
   result.monitor_aborted = stats.monitor_aborted;
+  if (injector.has_value()) {
+    const auto totals = injector->totals();
+    result.fault_drops = totals.dropped;
+    result.fault_dups = totals.duplicated;
+    result.fault_delays = totals.delayed;
+  }
   if (auto* mon = obs_session.monitors()) {
     // Totality can only be judged once the queue drained: a truncated run
     // (limit or strict abort) legitimately leaves undelivered instances.

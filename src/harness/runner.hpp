@@ -73,6 +73,12 @@ struct RunSpec {
   std::uint64_t seed = 1;
   Time max_time = 500'000'000;
 
+  /// Fault-injection spec (src/faults/; grammar in docs/ROBUSTNESS.md), e.g.
+  /// "dup(p=0.2);crash(party=0,at=5000)". "" = no faults. Parties the plan
+  /// crash-stops still RUN the honest protocol (the crash happens at the
+  /// network layer) but count as faulty for the oracle and the monitors.
+  std::string faults;
+
   // Observability (docs/OBSERVABILITY.md). When either path is set, execute()
   // enables observability for the run's duration inside a per-run
   // obs::Context with its own private registry, so each run's snapshot
@@ -122,6 +128,10 @@ struct RunResult {
   std::vector<obs::Violation> violations;
   std::uint64_t monitor_violations = 0;
   bool monitor_aborted = false;  ///< strict mode stopped the run early
+  /// Fault-injection totals (zero when RunSpec::faults is empty).
+  std::uint64_t fault_drops = 0;
+  std::uint64_t fault_dups = 0;
+  std::uint64_t fault_delays = 0;
 };
 
 /// Executes one run on the discrete-event simulator. Thread-safe: every call

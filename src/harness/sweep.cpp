@@ -57,7 +57,8 @@ std::string cell_key(const RunSpec& spec) {
       << to_string(spec.adversary) << '|' << to_string(spec.workload) << '|'
       << spec.params.n << '|' << spec.params.ts << '|' << spec.params.ta << '|'
       << spec.params.dim << '|' << spec.params.eps << '|' << spec.params.delta
-      << '|' << spec.corruptions << '|' << spec.workload_scale;
+      << '|' << spec.corruptions << '|' << spec.workload_scale << '|'
+      << spec.faults;
   return key.str();
 }
 
@@ -183,6 +184,7 @@ bool write_sweep_summary_json(const std::string& path,
     w.kv("dim", std::uint64_t{spec.params.dim});
     w.kv("eps", spec.params.eps);
     w.kv("delta", std::int64_t{spec.params.delta});
+    w.kv("faults", spec.faults);
     w.end_object();
 
     Stats rounds;

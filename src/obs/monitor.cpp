@@ -52,8 +52,10 @@ std::optional<MonitorMode> parse_monitor_mode(std::string_view name) {
   return std::nullopt;
 }
 
-// Derivation of the hybrid per-party bound, counting broadcasts (each is n
-// messages). A party participating in Bracha ΠrBC sends at most one echo and
+// Derivation of the hybrid per-party bound, counting broadcasts. Both
+// transports exclude self-delivery from message accounting (it is local
+// computation, not wire traffic), so one broadcast costs n - 1 counted
+// messages. A party participating in Bracha ΠrBC sends at most one echo and
 // one ready broadcast per instance, plus one send broadcast per instance it
 // initiates:
 //   Πinit values:   own send + echo/ready over <= n instances      2n + 1
@@ -63,27 +65,29 @@ std::optional<MonitorMode> parse_monitor_mode(std::string_view name) {
 //   halt:           one RBC instance                               2n + 1
 // A party can be at most one iteration ahead of the highest *adopted*
 // iteration K, so with the (K + 2) slack from ComplexityBudget the total is
-//   n * [(6n + 4) + (2n + 2)(K + 2)]  messages.
+//   (n - 1) * [(6n + 4) + (2n + 2)(K + 2)]  messages on the wire.
 // Payloads are at most a report: n pairs of (id, D doubles) plus small
 // headers; 49 + n (16 + 8 D) per message over-approximates the wire size.
 ComplexityBudget hybrid_complexity_budget(std::size_t n, std::size_t dim) {
   ComplexityBudget b;
   const auto nn = static_cast<std::uint64_t>(n);
-  b.msgs_fixed = nn * (6 * nn + 4);
-  b.msgs_per_iteration = nn * (2 * nn + 2);
+  const std::uint64_t fanout = nn > 0 ? nn - 1 : 0;
+  b.msgs_fixed = fanout * (6 * nn + 4);
+  b.msgs_per_iteration = fanout * (2 * nn + 2);
   const std::uint64_t max_wire = 49 + nn * (16 + 8 * static_cast<std::uint64_t>(dim));
   b.bytes_fixed = b.msgs_fixed * max_wire;
   b.bytes_per_iteration = b.msgs_per_iteration * max_wire;
   return b;
 }
 
-// The lock-step baseline broadcasts one value per round: n messages per
-// round, each carrying one D-dimensional value.
+// The lock-step baseline broadcasts one value per round: n - 1 wire messages
+// per round (self-delivery excluded), each carrying one D-dimensional value.
 ComplexityBudget lockstep_complexity_budget(std::size_t n, std::size_t dim) {
   ComplexityBudget b;
   const auto nn = static_cast<std::uint64_t>(n);
-  b.msgs_fixed = 2 * nn;
-  b.msgs_per_iteration = nn;
+  const std::uint64_t fanout = nn > 0 ? nn - 1 : 0;
+  b.msgs_fixed = 2 * fanout;
+  b.msgs_per_iteration = fanout;
   const std::uint64_t max_wire = 49 + 8 * static_cast<std::uint64_t>(dim);
   b.bytes_fixed = b.msgs_fixed * max_wire;
   b.bytes_per_iteration = b.msgs_per_iteration * max_wire;

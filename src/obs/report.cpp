@@ -49,6 +49,17 @@ struct ViolationRow {
   std::string detail;
 };
 
+/// One "fault.<kind>" trace event (src/faults/): scheduled timeline entries
+/// (crash/recover/partition/heal) and per-message drop/dup records.
+struct FaultRow {
+  std::int64_t t = 0;
+  std::string kind;
+  std::int64_t party = -1;  ///< from-party for drop/dup; -1 = whole network
+  std::int64_t peer = -1;   ///< to-party for drop/dup
+  std::int64_t cause = 0;   ///< send-event id for drop/dup
+  std::string detail;
+};
+
 /// Everything the renderers need, accumulated in one pass over the trace.
 struct TraceSummary {
   std::size_t events = 0;
@@ -64,6 +75,9 @@ struct TraceSummary {
   std::vector<ViolationRow> violations;
   std::uint64_t total_violations = 0;
   std::int64_t max_iteration = 0;
+  std::vector<FaultRow> faults;
+  std::uint64_t total_faults = 0;
+  std::map<std::string, std::uint64_t> faults_by_kind;
 };
 
 TraceSummary scan_trace(std::istream& in) {
@@ -83,8 +97,13 @@ TraceSummary scan_trace(std::istream& in) {
       const auto bytes = static_cast<std::uint64_t>(num(kv, "bytes"));
       s.send_bytes += bytes;
       s.send_matrix[{from, to}] += 1;
-      s.sent_msgs_by_party[from] += 1;
-      s.sent_bytes_by_party[from] += bytes;
+      // Per-party tallies count wire traffic only: self-sends stay visible
+      // on the matrix diagonal but are excluded here so the complexity
+      // section compares like with like against the (n-1)-fanout bound.
+      if (from != to) {
+        s.sent_msgs_by_party[from] += 1;
+        s.sent_bytes_by_party[from] += bytes;
+      }
     } else if (ev == "deliver") {
       const auto to = num(kv, "to");
       s.max_party = std::max({s.max_party, num(kv, "from"), to});
@@ -102,8 +121,25 @@ TraceSummary scan_trace(std::istream& in) {
                                             str(kv, "monitor"), num(kv, "it"),
                                             num(kv, "cause"), str(kv, "detail")});
       }
+    } else if (ev.rfind("fault.", 0) == 0) {
+      s.total_faults += 1;
+      s.faults_by_kind[ev.substr(6)] += 1;
+      if (s.faults.size() < kMaxViolationRows) {
+        FaultRow row;
+        row.t = num(kv, "t");
+        row.kind = ev.substr(6);
+        row.party = kv.count("party") != 0U ? num(kv, "party") : -1;
+        row.peer = kv.count("peer") != 0U ? num(kv, "peer") : -1;
+        row.cause = num(kv, "cause");
+        row.detail = str(kv, "detail");
+        s.faults.push_back(std::move(row));
+      }
     }
   }
+  // Scheduled timeline entries are emitted up front with future timestamps;
+  // per-message drops interleave in send order. Present one timeline.
+  std::stable_sort(s.faults.begin(), s.faults.end(),
+                   [](const FaultRow& a, const FaultRow& b) { return a.t < b.t; });
   return s;
 }
 
@@ -276,6 +312,29 @@ std::size_t render_report(std::istream& trace, const std::string& metrics_json,
   if (!verdict.empty()) {
     r.section("Oracle verdict");
     kv_table(r, verdict);
+  }
+
+  if (s.total_faults > 0) {
+    r.section("Fault timeline");
+    std::string kinds;
+    for (const auto& [kind, count] : s.faults_by_kind) {
+      if (!kinds.empty()) kinds += ", ";
+      kinds += kind + " ×" + std::to_string(count);
+    }
+    r.para(std::to_string(s.total_faults) +
+           " injected fault event(s) (docs/ROBUSTNESS.md): " + kinds + ".");
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& f : s.faults) {
+      rows.push_back({std::to_string(f.t), f.kind,
+                      f.party >= 0 ? std::to_string(f.party) : "-",
+                      f.peer >= 0 ? std::to_string(f.peer) : "-",
+                      f.cause != 0 ? std::to_string(f.cause) : "-", f.detail});
+    }
+    r.table({"t", "fault", "party", "peer", "cause", "detail"}, rows);
+    if (s.total_faults > s.faults.size()) {
+      r.para("(showing the first " + std::to_string(s.faults.size()) + " of " +
+             std::to_string(s.total_faults) + ")");
+    }
   }
 
   r.section("Invariant violations");

@@ -143,6 +143,21 @@ void TraceSink::violation(Time t, PartyId party, std::string_view monitor,
   write_line(w.take());
 }
 
+void TraceSink::fault(Time t, std::string_view what, std::int64_t party,
+                      std::int64_t peer, std::uint64_t cause,
+                      std::string_view detail) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("ev", "fault." + std::string(what));
+  w.kv("t", std::int64_t{t});
+  if (party >= 0) w.kv("party", party);
+  if (peer >= 0) w.kv("peer", peer);
+  if (cause != 0) w.kv("cause", cause);
+  if (!detail.empty()) w.kv("detail", detail);
+  w.end_object();
+  write_line(w.take());
+}
+
 void TraceSink::log(int level, std::string_view msg) {
   JsonWriter w;
   w.begin_object();

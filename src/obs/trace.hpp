@@ -73,6 +73,14 @@ class TraceSink {
                  std::uint32_t iteration, std::uint64_t cause,
                  std::string_view detail);
 
+  /// A fault-injection event (src/faults/): emitted as "fault.<what>" —
+  /// per-message drop/dup (party/peer = from/to, `cause` = the dropped or
+  /// duplicated send's event id) and scheduled crash/recover/partition/heal
+  /// timeline entries (peer = -1). Negative ids and cause 0 are omitted
+  /// from the JSON line.
+  void fault(Time t, std::string_view what, std::int64_t party, std::int64_t peer,
+             std::uint64_t cause, std::string_view detail);
+
   // -- logging -------------------------------------------------------------
 
   /// A HYDRA_LOG line routed into the trace (level as in hydra::LogLevel).

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "faults/faults.hpp"
 #include "obs/metrics.hpp"
 #include "obs/monitor.hpp"
 #include "obs/trace.hpp"
@@ -70,64 +71,121 @@ void Simulation::schedule_phase(Time at, Phase phase, std::function<void()> fn) 
 
 void Simulation::record_send(PartyId from, PartyId to, const Message& msg,
                              Duration delay, std::uint64_t send_id) {
-  auto& registry = obs::registry();
-  registry.counter("sim.messages").inc();
-  registry.counter("sim.bytes").inc(msg.wire_size());
-  if (config_.delta > 0) {
-    // Per-round accounting: the paper's round structure is in units of Delta.
-    const auto round = static_cast<std::size_t>(now_ / config_.delta);
-    if (stats_.messages_per_round.size() <= round) {
-      stats_.messages_per_round.resize(round + 1, 0);
-      stats_.bytes_per_round.resize(round + 1, 0);
-    }
-    stats_.messages_per_round[round] += 1;
-    stats_.bytes_per_round[round] += msg.wire_size();
-    if (from != to) {
+  // Self-deliveries stay visible in the trace (they carry causality) but are
+  // excluded from every message/byte count, matching SimStats and keeping
+  // per-party totals comparable to the Thm 5.19 wire bound.
+  if (from != to) {
+    auto& registry = obs::registry();
+    registry.counter("sim.messages").inc();
+    registry.counter("sim.bytes").inc(msg.wire_size());
+    if (config_.delta > 0) {
+      // Per-round accounting: the paper's round structure is in units of
+      // Delta.
+      const auto round = static_cast<std::size_t>(now_ / config_.delta);
+      if (stats_.messages_per_round.size() <= round) {
+        stats_.messages_per_round.resize(round + 1, 0);
+        stats_.bytes_per_round.resize(round + 1, 0);
+      }
+      stats_.messages_per_round[round] += 1;
+      stats_.bytes_per_round[round] += msg.wire_size();
       // Delay in units of Delta: >1 means the synchrony bound was violated.
       static constexpr std::array<double, 7> kBounds{0.25, 0.5, 1.0, 2.0,
                                                      4.0,  8.0, 16.0};
       registry.histogram("sim.delay_delta", kBounds)
           .observe(static_cast<double>(delay) / static_cast<double>(config_.delta));
     }
+    if (auto* mon = obs::monitors()) {
+      mon->on_send(now_, from, msg.wire_size());
+    }
   }
   if (auto* tr = obs::trace()) {
     tr->message_send(now_, from, to, msg.key.tag, msg.key.a, msg.key.b, msg.kind,
                      msg.wire_size(), send_id);
   }
-  if (auto* mon = obs::monitors()) {
-    mon->on_send(now_, from, msg.wire_size());
-  }
+}
+
+void Simulation::schedule_traced_delivery(Time at, PartyId from, PartyId to,
+                                          Message msg, std::uint64_t send_id) {
+  Simulation* sim = this;
+  schedule_phase(at, Phase::kMessage,
+                 [sim, from, to, send_id, msg = std::move(msg)] {
+    if (auto* tr = obs::trace()) {
+      tr->message_deliver(sim->now_, from, to, msg.key.tag, msg.key.a,
+                          msg.key.b, msg.kind, msg.wire_size(), send_id);
+    }
+    if (auto* mon = obs::monitors()) {
+      // Bracket the handler so monitor checks fired inside it can name
+      // this message as their cause.
+      mon->begin_dispatch(send_id);
+      sim->parties_[to]->on_message(*sim->envs_[to], from, msg);
+      mon->end_dispatch();
+      return;
+    }
+    sim->parties_[to]->on_message(*sim->envs_[to], from, msg);
+  });
 }
 
 void Simulation::deliver(PartyId from, PartyId to, Message msg) {
-  stats_.messages += 1;
-  stats_.bytes += msg.wire_size();
-  stats_.sent_per_party[from] += 1;
+  const bool self = from == to;
   // Self-delivery is local computation, not network traffic: zero delay (but
-  // still queued, so handlers never re-enter).
-  const Duration d =
-      from == to ? 0 : delay_model_->delay(from, to, now_, msg, rng_);
-  HYDRA_ASSERT(from == to || d >= 1);
+  // still queued, so handlers never re-enter) and excluded from all message
+  // accounting — only wire traffic counts against the paper's bounds.
+  const Duration base = self ? 0 : delay_model_->delay(from, to, now_, msg, rng_);
+  HYDRA_ASSERT(self || base >= 1);
+  if (!self) {
+    stats_.messages += 1;
+    stats_.bytes += msg.wire_size();
+    stats_.sent_per_party[from] += 1;
+  }
+
+  Duration d = base;
+  Duration dup_delay = -1;  // >= 0 schedules a duplicate copy at that delay
+  const char* drop_reason = nullptr;
+  if (injector_ != nullptr) {
+    const auto outcome = injector_->on_message(from, to, now_, base);
+    d = outcome.delays[0];
+    if (outcome.dropped) {
+      drop_reason = outcome.reason;
+    } else if (outcome.duplicated) {
+      dup_delay = outcome.delays[1];
+    }
+  }
+
   Simulation* sim = this;
   if (obs::enabled()) {
     // The obs state cannot change while run() executes, so the dispatch
     // closure needs no enabled() re-check of its own.
     const std::uint64_t send_id = ++send_id_;
     record_send(from, to, msg, d, send_id);
-    schedule_phase(now_ + d, Phase::kMessage,
-                   [sim, from, to, send_id, msg = std::move(msg)] {
+    if (injector_ != nullptr) {
       if (auto* tr = obs::trace()) {
-        tr->message_deliver(sim->now_, from, to, msg.key.tag, msg.key.a,
-                            msg.key.b, msg.kind, msg.wire_size(), send_id);
+        if (drop_reason != nullptr) {
+          tr->fault(now_, "drop", from, to, send_id, drop_reason);
+        } else if (dup_delay >= 0) {
+          tr->fault(now_, "dup", from, to, send_id, "");
+        }
       }
-      if (auto* mon = obs::monitors()) {
-        // Bracket the handler so monitor checks fired inside it can name
-        // this message as their cause.
-        mon->begin_dispatch(send_id);
-        sim->parties_[to]->on_message(*sim->envs_[to], from, msg);
-        mon->end_dispatch();
-        return;
-      }
+    }
+    if (drop_reason != nullptr) return;
+    if (dup_delay >= 0) {
+      // The copy shares the original's send id: one send event, two
+      // delivers with the same cause.
+      Message copy = msg;
+      schedule_traced_delivery(now_ + d, from, to, std::move(msg), send_id);
+      schedule_traced_delivery(now_ + dup_delay, from, to, std::move(copy), send_id);
+      return;
+    }
+    schedule_traced_delivery(now_ + d, from, to, std::move(msg), send_id);
+    return;
+  }
+  if (drop_reason != nullptr) return;
+  if (dup_delay >= 0) {
+    Message copy = msg;
+    schedule_phase(now_ + d, Phase::kMessage, [sim, from, to, msg = std::move(msg)] {
+      sim->parties_[to]->on_message(*sim->envs_[to], from, msg);
+    });
+    schedule_phase(now_ + dup_delay, Phase::kMessage,
+                   [sim, from, to, msg = std::move(copy)] {
       sim->parties_[to]->on_message(*sim->envs_[to], from, msg);
     });
     return;
@@ -158,7 +216,11 @@ SimStats Simulation::run() {
         stats_.hit_limit = true;
         break;
       }
-      Event ev = queue_.top();
+      // Move the event out instead of copying: top() is const-qualified
+      // only because mutating the ordering fields would corrupt the heap;
+      // moving the closure (and its captured payload) right before pop()
+      // leaves the comparator-visible scalars untouched.
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
       queue_.pop();
       HYDRA_ASSERT(ev.at >= now_);
       now_ = ev.at;
@@ -175,7 +237,7 @@ SimStats Simulation::run() {
         stats_.monitor_aborted = true;
         break;
       }
-      Event ev = queue_.top();
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
       queue_.pop();
       HYDRA_ASSERT(ev.at >= now_);
       now_ = ev.at;

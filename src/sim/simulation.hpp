@@ -18,6 +18,10 @@
 #include "sim/env.hpp"
 #include "sim/message.hpp"
 
+namespace hydra::faults {
+class FaultInjector;
+}
+
 namespace hydra::sim {
 
 struct SimConfig {
@@ -29,6 +33,8 @@ struct SimConfig {
 };
 
 struct SimStats {
+  /// Wire traffic only: self-deliveries are local computation and are
+  /// excluded from every message/byte count below.
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
   std::uint64_t events = 0;
@@ -69,6 +75,13 @@ class Simulation {
   /// in the timer phase, i.e. after same-tick message deliveries).
   void schedule(Time at, std::function<void()> fn);
 
+  /// Installs a fault injector (src/faults/) consulted on every message.
+  /// Borrowed: the injector must outlive run(). nullptr (the default) keeps
+  /// the fault-free fast path — a single branch per deliver().
+  void set_fault_injector(faults::FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+
  private:
   class PartyEnv;
 
@@ -87,9 +100,16 @@ class Simulation {
   void record_send(PartyId from, PartyId to, const Message& msg, Duration delay,
                    std::uint64_t send_id);
 
+  /// Queues one traced delivery (deliver event + monitor dispatch bracket).
+  /// Used by the obs-enabled path; the fault injector may queue the same
+  /// send twice (duplication), both copies carrying the same `send_id`.
+  void schedule_traced_delivery(Time at, PartyId from, PartyId to, Message msg,
+                                std::uint64_t send_id);
+
   SimConfig config_;
   std::unique_ptr<DelayModel> delay_model_;
   Rng rng_;
+  faults::FaultInjector* injector_ = nullptr;
 
   struct Event {
     Time at;

@@ -1,0 +1,102 @@
+// Thread-safe priority mailbox ordered by delivery tick.
+//
+// Extracted from ThreadNetwork so the wait/wake discipline is testable on
+// its own (tests/test_faults.cpp counts wakeups near tick boundaries).
+// Time arrives through two caller-supplied functors — `now_ticks()` maps
+// the wall clock to virtual ticks and `tick_deadline(at)` maps a tick back
+// to a wall-clock deadline — so tests can drive the clock precisely.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/message.hpp"
+
+namespace hydra::transport {
+
+class Mailbox {
+ public:
+  struct Item {
+    Time due;
+    std::uint64_t seq;    ///< push-order tie-break (unique per network)
+    std::uint64_t cause;  ///< trace send-event id (0 = none); duplicate
+                          ///< copies keep the original send's id
+    PartyId from;
+    sim::Message msg;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const noexcept {
+      if (a.due != b.due) return a.due > b.due;
+      return a.seq > b.seq;
+    }
+  };
+
+  void push(Item item) {
+    {
+      const std::lock_guard lock(mutex_);
+      queue_.push(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  void close() {
+    {
+      const std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until an item is due (relative to `now_ticks()`), the given
+  /// wall-clock deadline passes, or the mailbox closes. Returns the due item
+  /// if any; nullopt means "closed, or your own deadline passed" — never
+  /// "something woke me early".
+  template <typename NowFn, typename DeadlineFn>
+  std::optional<Item> pop_due(NowFn&& now_ticks, DeadlineFn&& tick_deadline,
+                              Time local_deadline) {
+    std::unique_lock lock(mutex_);
+    while (true) {
+      if (closed_) return std::nullopt;
+      const Time now = now_ticks();
+      if (!queue_.empty() && queue_.top().due <= now) {
+        // Move, don't copy: pop() only shuffles the remaining elements, so
+        // gutting the payload under the const top() reference is safe.
+        Item item = std::move(const_cast<Item&>(queue_.top()));
+        queue_.pop();
+        return item;
+      }
+      // Sleep until the earliest of: next queued item, the caller's timer
+      // deadline. New pushes wake us early.
+      Time wake = local_deadline;
+      if (!queue_.empty()) wake = std::min(wake, queue_.top().due);
+      if (wake == kTimeInfinity) {
+        cv_.wait(lock);
+      } else {
+        if (cv_.wait_until(lock, tick_deadline(wake)) == std::cv_status::timeout) {
+          // Only the caller's own deadline ends the wait. A timeout whose
+          // wake target was the queue head must loop instead: the head is
+          // either due now (popped at the top of the loop) or the next
+          // iteration recomputes the sleep — returning nullopt here sent
+          // the caller through a futile timer-drain pass and straight back.
+          if (local_deadline != kTimeInfinity && now_ticks() >= local_deadline) {
+            return std::nullopt;
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace hydra::transport

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <optional>
+#include <sstream>
 #include <thread>
 #include <utility>
 
 #include "common/assert.hpp"
+#include "common/log.hpp"
+#include "faults/faults.hpp"
 #include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/monitor.hpp"
@@ -15,75 +19,6 @@
 namespace hydra::transport {
 
 using Clock = std::chrono::steady_clock;
-
-/// Thread-safe priority mailbox ordered by delivery tick.
-class ThreadNetwork::Mailbox {
- public:
-  struct Item {
-    Time due;
-    std::uint64_t seq;
-    PartyId from;
-    sim::Message msg;
-  };
-  struct Later {
-    bool operator()(const Item& a, const Item& b) const noexcept {
-      if (a.due != b.due) return a.due > b.due;
-      return a.seq > b.seq;
-    }
-  };
-
-  void push(Item item) {
-    {
-      const std::lock_guard lock(mutex_);
-      queue_.push(std::move(item));
-    }
-    cv_.notify_one();
-  }
-
-  void close() {
-    {
-      const std::lock_guard lock(mutex_);
-      closed_ = true;
-    }
-    cv_.notify_all();
-  }
-
-  /// Blocks until an item is due (relative to `now_ticks()`), the given
-  /// wall-clock deadline passes, or the mailbox closes. Returns the due item
-  /// if any.
-  template <typename NowFn, typename DeadlineFn>
-  std::optional<Item> pop_due(NowFn&& now_ticks, DeadlineFn&& tick_deadline,
-                              Time local_deadline) {
-    std::unique_lock lock(mutex_);
-    while (true) {
-      if (closed_) return std::nullopt;
-      const Time now = now_ticks();
-      if (!queue_.empty() && queue_.top().due <= now) {
-        Item item = queue_.top();
-        queue_.pop();
-        return item;
-      }
-      // Sleep until the earliest of: next queued item, the caller's timer
-      // deadline. New pushes wake us early.
-      Time wake = local_deadline;
-      if (!queue_.empty()) wake = std::min(wake, queue_.top().due);
-      if (wake == kTimeInfinity) {
-        cv_.wait(lock);
-      } else {
-        if (cv_.wait_until(lock, tick_deadline(wake)) == std::cv_status::timeout) {
-          // Timer (or queued item) is now due; let the caller dispatch.
-          if (queue_.empty() || queue_.top().due > now_ticks()) return std::nullopt;
-        }
-      }
-    }
-  }
-
- private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::priority_queue<Item, std::vector<Item>, Later> queue_;
-  bool closed_ = false;
-};
 
 /// The per-party Env implementation; used only from the party's own thread.
 class ThreadNetwork::ThreadEnv final : public sim::Env {
@@ -154,35 +89,72 @@ Clock::time_point ThreadNetwork::tick_deadline(Time at) const {
 
 void ThreadNetwork::post(PartyId from, PartyId to, sim::Message msg) {
   HYDRA_ASSERT(to < config_.n);
-  messages_.fetch_add(1, std::memory_order_relaxed);
-  bytes_.fetch_add(msg.wire_size(), std::memory_order_relaxed);
+  const bool self = from == to;
+  // Self-posts are local computation, not network traffic — excluded from
+  // message/byte accounting, matching the simulator.
+  if (!self) {
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(msg.wire_size(), std::memory_order_relaxed);
+  }
   // One timestamp for the whole post: computing the delay against one sample
   // and stamping `due` with a later one would stretch delivery times by the
   // (lock-contended) gap between the two reads.
   const Time now = now_ticks();
-  Duration d = 0;
-  if (from != to) {
+  Duration base = 0;
+  if (!self) {
     const std::lock_guard lock(delay_mutex_);
-    d = delay_model_->delay(from, to, now, msg, delay_rng_);
+    base = delay_model_->delay(from, to, now, msg, delay_rng_);
+  }
+  Duration d = base;
+  Duration dup_delay = -1;  // >= 0 queues a duplicate copy at that delay
+  const char* drop_reason = nullptr;
+  if (injector_ != nullptr) {
+    const auto outcome = injector_->on_message(from, to, now, base);
+    d = outcome.delays[0];
+    if (outcome.dropped) {
+      drop_reason = outcome.reason;
+    } else if (outcome.duplicated) {
+      dup_delay = outcome.delays[1];
+    }
   }
   // The mailbox sequence number doubles as the trace send-event id (+1 so 0
   // keeps meaning "no cause").
   const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
   if (obs::enabled()) {
-    auto& registry = obs::registry();
-    registry.counter("net.messages").inc();
-    registry.counter("net.bytes").inc(msg.wire_size());
+    if (!self) {
+      auto& registry = obs::registry();
+      registry.counter("net.messages").inc();
+      registry.counter("net.bytes").inc(msg.wire_size());
+    }
     // Wall-clock-driven tick stamps: thread-transport traces are NOT
     // deterministic across runs (unlike simulator traces).
     if (auto* tr = obs::trace()) {
       tr->message_send(now, from, to, msg.key.tag, msg.key.a, msg.key.b,
                        msg.kind, msg.wire_size(), seq + 1);
+      if (drop_reason != nullptr) {
+        tr->fault(now, "drop", from, to, seq + 1, drop_reason);
+      } else if (dup_delay >= 0) {
+        tr->fault(now, "dup", from, to, seq + 1, "");
+      }
     }
-    if (auto* mon = obs::monitors()) {
-      mon->on_send(now, from, msg.wire_size());
+    if (!self) {
+      if (auto* mon = obs::monitors()) {
+        mon->on_send(now, from, msg.wire_size());
+      }
     }
   }
-  mailboxes_[to]->push(Mailbox::Item{now + d, seq, from, std::move(msg)});
+  if (drop_reason != nullptr) return;
+  if (dup_delay >= 0) {
+    // The duplicate gets a fresh queue position but keeps the original's
+    // send id as its trace cause — one send, two delivers.
+    sim::Message copy = msg;
+    mailboxes_[to]->push(Mailbox::Item{now + d, seq, seq + 1, from, std::move(msg)});
+    const std::uint64_t dup_seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    mailboxes_[to]->push(
+        Mailbox::Item{now + dup_delay, dup_seq, seq + 1, from, std::move(copy)});
+    return;
+  }
+  mailboxes_[to]->push(Mailbox::Item{now + d, seq, seq + 1, from, std::move(msg)});
 }
 
 ThreadNetStats ThreadNetwork::run(
@@ -191,7 +163,17 @@ ThreadNetStats ThreadNetwork::run(
   HYDRA_ASSERT(parties.size() == config_.n);
   epoch_ = Clock::now();
 
-  std::atomic<std::size_t> done_count{0};
+  // Per-party watchdog state: the completion loop reads these to decide who
+  // is satisfied, and a timeout turns them into a who-stalled-and-why
+  // report instead of a bare flag.
+  std::vector<std::atomic<bool>> done(config_.n);
+  std::vector<std::atomic<std::uint64_t>> handled(config_.n);
+  std::vector<std::atomic<Time>> last_progress(config_.n);
+  for (std::size_t i = 0; i < config_.n; ++i) {
+    done[i].store(false, std::memory_order_relaxed);
+    handled[i].store(0, std::memory_order_relaxed);
+    last_progress[i].store(0, std::memory_order_relaxed);
+  }
   std::atomic<bool> stop{false};
 
   // Party threads inherit the launching thread's observability context, so a
@@ -204,8 +186,7 @@ ThreadNetStats ThreadNetwork::run(
     ThreadEnv env(this, id);
     sim::IParty& party = *parties[id];
     party.start(env);
-    bool done = finished(party, id);
-    if (done) done_count.fetch_add(1);
+    if (finished(party, id)) done[id].store(true, std::memory_order_release);
 
     while (!stop.load(std::memory_order_acquire)) {
       const Time timer_at = env.next_timer();
@@ -213,24 +194,30 @@ ThreadNetStats ThreadNetwork::run(
                                           [this](Time at) { return tick_deadline(at); },
                                           timer_at);
       if (stop.load(std::memory_order_acquire)) break;
+      bool progressed = false;
       if (item) {
         if (obs::enabled()) {
           if (auto* tr = obs::trace()) {
             const auto& m = item->msg;
             tr->message_deliver(now_ticks(), item->from, id, m.key.tag, m.key.a,
-                                m.key.b, m.kind, m.wire_size(), item->seq + 1);
+                                m.key.b, m.kind, m.wire_size(), item->cause);
           }
         }
         party.on_message(env, item->from, item->msg);
+        progressed = true;
       }
       // Fire all due timers.
       const Time now = now_ticks();
       while (auto timer_id = env.pop_due_timer(now)) {
         party.on_timer(env, *timer_id);
+        progressed = true;
       }
-      if (!done && finished(party, id)) {
-        done = true;
-        done_count.fetch_add(1);
+      if (progressed) {
+        handled[id].fetch_add(1, std::memory_order_relaxed);
+        last_progress[id].store(now_ticks(), std::memory_order_relaxed);
+        if (!done[id].load(std::memory_order_relaxed) && finished(party, id)) {
+          done[id].store(true, std::memory_order_release);
+        }
       }
       // A finished party keeps processing traffic (it must keep relaying
       // ΠrBC echoes for the others) until the network shuts down.
@@ -241,9 +228,24 @@ ThreadNetStats ThreadNetwork::run(
   threads.reserve(config_.n);
   for (PartyId id = 0; id < config_.n; ++id) threads.emplace_back(worker, id);
 
+  // A party the fault plan crash-stops forever can never satisfy `finished`;
+  // once its crash tick passed, waiting longer is pointless — treat it as
+  // satisfied rather than reporting a bogus timeout.
+  auto satisfied = [&](PartyId id) {
+    if (done[id].load(std::memory_order_acquire)) return true;
+    if (injector_ != nullptr) {
+      const auto crash = injector_->plan().crash_stop_at(id);
+      if (crash.has_value() && now_ticks() >= *crash) return true;
+    }
+    return false;
+  };
+
   const auto deadline = Clock::now() + std::chrono::milliseconds(config_.timeout_ms);
   bool timed_out = false;
-  while (done_count.load() < config_.n) {
+  for (;;) {
+    std::size_t ok = 0;
+    for (PartyId id = 0; id < config_.n; ++id) ok += satisfied(id) ? 1 : 0;
+    if (ok == config_.n) break;
     if (Clock::now() >= deadline) {
       timed_out = true;
       break;
@@ -262,6 +264,28 @@ ThreadNetStats ThreadNetwork::run(
   stats.wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
                                                                         epoch_)
                       .count();
+  stats.progress.resize(config_.n);
+  for (PartyId id = 0; id < config_.n; ++id) {
+    auto& p = stats.progress[id];
+    p.finished = done[id].load();
+    p.events = handled[id].load();
+    p.last_progress = last_progress[id].load();
+    p.crash_stopped =
+        injector_ != nullptr && injector_->plan().crash_stop_at(id).has_value();
+  }
+  if (timed_out) {
+    std::ostringstream detail;
+    const char* sep = "";
+    for (PartyId id = 0; id < config_.n; ++id) {
+      const auto& p = stats.progress[id];
+      if (p.finished || p.crash_stopped) continue;
+      detail << sep << "party " << id << ": unfinished after " << p.events
+             << " events, last progress at tick " << p.last_progress;
+      sep = "; ";
+    }
+    stats.timeout_detail = detail.str();
+    HYDRA_LOG_ERROR("thread_net: timeout — %s", stats.timeout_detail.c_str());
+  }
   return stats;
 }
 

@@ -15,13 +15,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <optional>
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <queue>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -29,6 +27,11 @@
 #include "sim/delay.hpp"
 #include "sim/env.hpp"
 #include "sim/message.hpp"
+#include "transport/mailbox.hpp"
+
+namespace hydra::faults {
+class FaultInjector;
+}
 
 namespace hydra::transport {
 
@@ -40,11 +43,26 @@ struct ThreadNetConfig {
   std::int64_t timeout_ms = 30'000;  ///< wall-clock run cap
 };
 
+/// Per-party progress snapshot, filled in by the watchdog after the run.
+struct PartyProgress {
+  bool finished = false;       ///< `finished` predicate held at shutdown
+  bool crash_stopped = false;  ///< a fault-plan crash-stop silenced the party
+  std::uint64_t events = 0;    ///< messages + timers the party handled
+  Time last_progress = 0;      ///< tick of the party's last handled event
+};
+
 struct ThreadNetStats {
+  /// Wire traffic only: self-posts are local computation and excluded,
+  /// matching the simulator's accounting.
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
   bool timed_out = false;
   std::int64_t wall_ms = 0;
+  /// One entry per party (index = PartyId).
+  std::vector<PartyProgress> progress;
+  /// Empty unless timed_out: names each stalled party with its event count
+  /// and last-progress tick, so a timeout says WHO stalled and why.
+  std::string timeout_detail;
 };
 
 class ThreadNetwork {
@@ -64,8 +82,15 @@ class ThreadNetwork {
   ThreadNetStats run(std::vector<std::unique_ptr<sim::IParty>>& parties,
                      const std::function<bool(const sim::IParty&, PartyId)>& finished);
 
+  /// Installs a fault injector (src/faults/) consulted on every post().
+  /// Borrowed: must outlive run(). Parties crash-stopped forever by the plan
+  /// are treated as satisfied by the completion watchdog — they can never
+  /// finish, and that is not a timeout.
+  void set_fault_injector(faults::FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+
  private:
-  class Mailbox;
   class ThreadEnv;
   friend class ThreadEnv;
 
@@ -73,6 +98,7 @@ class ThreadNetwork {
 
   ThreadNetConfig config_;
   std::unique_ptr<sim::DelayModel> delay_model_;
+  faults::FaultInjector* injector_ = nullptr;
   std::mutex delay_mutex_;
   Rng delay_rng_;
 

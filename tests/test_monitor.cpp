@@ -51,9 +51,11 @@ TEST(MonitorMode, ParseRoundTrips) {
 
 TEST(ComplexityBudget, HybridMatchesDerivation) {
   const auto b = obs::hybrid_complexity_budget(8, 2);
-  // n(6n + 4) fixed, n(2n + 2) per iteration (header derivation).
-  EXPECT_EQ(b.msgs_fixed, 8u * (6 * 8 + 4));
-  EXPECT_EQ(b.msgs_per_iteration, 8u * (2 * 8 + 2));
+  // (n-1)(6n + 4) fixed, (n-1)(2n + 2) per iteration: one broadcast costs
+  // n - 1 counted messages because self-delivery never touches the wire
+  // (header derivation).
+  EXPECT_EQ(b.msgs_fixed, 7u * (6 * 8 + 4));
+  EXPECT_EQ(b.msgs_per_iteration, 7u * (2 * 8 + 2));
   const std::uint64_t max_wire = 49 + 8 * (16 + 8 * 2);
   EXPECT_EQ(b.bytes_fixed, b.msgs_fixed * max_wire);
   EXPECT_EQ(b.bytes_per_iteration, b.msgs_per_iteration * max_wire);
@@ -61,9 +63,10 @@ TEST(ComplexityBudget, HybridMatchesDerivation) {
 
 TEST(ComplexityBudget, LockstepIsLinearInN) {
   const auto b = obs::lockstep_complexity_budget(10, 3);
-  EXPECT_EQ(b.msgs_fixed, 20u);
-  EXPECT_EQ(b.msgs_per_iteration, 10u);
-  EXPECT_EQ(b.bytes_per_iteration, 10u * (49 + 8 * 3));
+  // Two broadcasts fixed, one per iteration, at n - 1 wire messages each.
+  EXPECT_EQ(b.msgs_fixed, 18u);
+  EXPECT_EQ(b.msgs_per_iteration, 9u);
+  EXPECT_EQ(b.bytes_per_iteration, 9u * (49 + 8 * 3));
 }
 
 // ------------------------------------------------------------- monitor units

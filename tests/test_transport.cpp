@@ -153,6 +153,22 @@ TEST(ThreadTransport, TimeoutReportedWhenPartiesCannotFinish) {
     return static_cast<const AaParty&>(p).has_output();
   });
   EXPECT_TRUE(stats.timed_out);
+
+  // The watchdog must say WHICH parties stalled: the two live AaParties
+  // (ids 2 and 3) are the unfinished ones; the dead-but-"finished" parties
+  // must not be blamed.
+  EXPECT_NE(stats.timeout_detail.find("party 2"), std::string::npos)
+      << stats.timeout_detail;
+  EXPECT_NE(stats.timeout_detail.find("party 3"), std::string::npos)
+      << stats.timeout_detail;
+  EXPECT_EQ(stats.timeout_detail.find("party 0"), std::string::npos)
+      << stats.timeout_detail;
+  ASSERT_EQ(stats.progress.size(), 4u);
+  EXPECT_TRUE(stats.progress[0].finished);
+  EXPECT_TRUE(stats.progress[1].finished);
+  EXPECT_FALSE(stats.progress[2].finished);
+  // The stalled parties did real work before wedging on the missing quorum.
+  EXPECT_GT(stats.progress[2].events, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Fault x adversary strict sweep matrix (docs/ROBUSTNESS.md).
+#
+# Runs `hydra sweep --monitors=strict` over every (protocol, network,
+# adversary, fault-plan) cell below — 48 cells, --seeds runs each — and
+# fails if ANY run misses D-AA or trips an invariant monitor (the sweep
+# exit-code contract makes each cell self-checking). CI runs this as the
+# fault-matrix job; locally:
+#
+#   ./tools/fault_matrix.sh [path-to-hydra] [seeds]
+set -u
+
+HYDRA="${1:-./build/tools/hydra}"
+SEEDS="${2:-2}"
+
+if [[ ! -x "$HYDRA" ]]; then
+  echo "error: hydra binary not found at $HYDRA (build first)" >&2
+  exit 2
+fi
+
+DUP='dup(p=0.3)'
+REORDER='reorder(p=0.5)'
+CHAOS='dup(p=0.3);reorder(p=0.5)'
+CRASH='crash(party=4,at=0)'
+CRASH_RECOVER='crash(party=4,at=2000,until=9000)'
+PARTITION='partition(group=0.1,from=2000,until=8000)'
+
+cells=0
+failed=0
+
+run_cell() {
+  local protocol="$1" network="$2" adversary="$3" faults="$4"
+  local corrupt=0
+  [[ "$adversary" != "none" ]] && corrupt=1
+  cells=$((cells + 1))
+  if ! "$HYDRA" sweep --protocol="$protocol" --network="$network" \
+      --adversary="$adversary" --corrupt="$corrupt" \
+      --n=5 --ts=1 --ta=1 --dim=2 --seeds="$SEEDS" \
+      --monitors=strict --faults="$faults" >/dev/null; then
+    failed=$((failed + 1))
+    echo "FAIL: $protocol/$network/$adversary faults='$faults'" >&2
+  fi
+}
+
+# Hybrid under synchrony: dup/reorder/chaos must be invisible to the verdict
+# (the injector clamps skew to Delta), with and without a Byzantine slot.
+for network in sync-jitter sync-worst; do
+  for adversary in none silent; do
+    for faults in "$DUP" "$REORDER" "$CHAOS"; do
+      run_cell hybrid "$network" "$adversary" "$faults"
+    done
+  done
+done
+
+# Hybrid under asynchrony: add the partition plan (legal only here — an open
+# partition is an asynchrony violation by construction).
+for network in async-reorder async-exp; do
+  for adversary in none silent; do
+    for faults in "$DUP" "$CHAOS" "$PARTITION"; do
+      run_cell hybrid "$network" "$adversary" "$faults"
+    done
+  done
+done
+
+# Async-MH baseline: the asynchronous-only protocol under the same chaos.
+for network in async-reorder async-exp; do
+  for adversary in none silent; do
+    for faults in "$DUP" "$CHAOS" "$PARTITION"; do
+      run_cell async-mh "$network" "$adversary" "$faults"
+    done
+  done
+done
+
+# Sync-lockstep baseline: synchronous networks only.
+for network in sync-jitter sync-worst; do
+  for faults in "$DUP" "$REORDER" "$CHAOS"; do
+    run_cell sync-lockstep "$network" none "$faults"
+  done
+done
+
+# Crash-fault cells (adversary none so the combined faulty count stays
+# within ts = 1): crash-stop and crash-recover across both worlds.
+for network in sync-jitter sync-worst async-reorder; do
+  run_cell hybrid "$network" none "$CRASH"
+done
+run_cell hybrid sync-jitter none "$CRASH_RECOVER"
+run_cell async-mh async-reorder none "$CRASH"
+run_cell sync-lockstep sync-jitter none "$CRASH"
+
+echo
+echo "fault matrix: $cells cells x $SEEDS seeds, $failed failing"
+[[ "$failed" -eq 0 ]]

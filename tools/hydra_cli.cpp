@@ -17,6 +17,12 @@
 //   --corrupt 1 --workload ball|simplex|clustered|collinear|gaussian
 //   --scale 10 --seed 1 --seeds 20 --aggregation midpoint|centroid
 //
+// Fault injection (docs/ROBUSTNESS.md):
+//   --faults SPEC         semicolon-separated clauses, e.g.
+//                         "dup(p=0.2);reorder(p=0.5,skew=2000);
+//                          crash(party=0,at=5000[,until=20000]);
+//                          partition(group=0.1,from=2000,until=9000)"
+//
 // Sweep parallelism (docs/OBSERVABILITY.md "Parallel sweeps"):
 //   --jobs N              worker threads for sweep mode (0 = one per
 //                         hardware thread, the default); every run executes
@@ -58,6 +64,7 @@
 #include <vector>
 
 #include "common/log.hpp"
+#include "faults/faults.hpp"
 #include "harness/runner.hpp"
 #include "harness/stats.hpp"
 #include "harness/sweep.hpp"
@@ -83,7 +90,7 @@ struct Options {
                "usage: hydra <run|sweep|report|list> [--key value | --key=value ...]\n"
                "keys: n ts ta dim eps delta protocol network adversary corrupt\n"
                "      workload scale seed seeds aggregation jobs sweep-json\n"
-               "      trace-out metrics-json log-level monitors\n"
+               "      trace-out metrics-json log-level monitors faults\n"
                "report keys: trace metrics out format title\n"
                "run `hydra list` for accepted values.\n");
   std::exit(2);
@@ -99,6 +106,9 @@ void list_values() {
   std::printf("aggregation: midpoint centroid\n");
   std::printf("log-level  : off error info debug trace\n");
   std::printf("monitors   : off record strict\n");
+  std::printf("faults     : dup(p=P[,skew=T]) reorder(p=P[,skew=T]) "
+              "crash(party=I,at=T[,until=T]) "
+              "partition(group=I.J...,from=T,until=T), ';'-separated\n");
   std::printf("format     : md html (hydra report)\n");
 }
 
@@ -189,6 +199,15 @@ Options parse(int argc, char** argv) {
     if (!mode) usage("unknown monitors mode (off|record|strict)");
     spec.monitors = *mode;
   }
+  if (const auto it = kv.find("faults"); it != kv.end()) {
+    std::string error;
+    const auto plan = faults::parse_fault_plan(it->second, &error);
+    if (!plan) usage(("bad --faults: " + error).c_str());
+    if (!plan->empty() && plan->max_party() >= spec.params.n) {
+      usage("--faults names a party >= n");
+    }
+    spec.faults = it->second;
+  }
   if (const auto it = kv.find("aggregation"); it != kv.end()) {
     if (it->second == "centroid") {
       spec.params.aggregation = protocols::Aggregation::kCentroid;
@@ -224,6 +243,12 @@ int cmd_run(const Options& opts) {
   table.row({"T estimates", fmt(result.min_estimate) + ".." + fmt(result.max_estimate)});
   table.row({"max msgs by one party", fmt(result.max_sent_by_party)});
   table.row({"safe-area fallbacks", fmt(result.safe_area_fallbacks)});
+  if (!opts.spec.faults.empty()) {
+    table.row({"faults", opts.spec.faults});
+    table.row({"fault drops", fmt(result.fault_drops)});
+    table.row({"fault dups", fmt(result.fault_dups)});
+    table.row({"fault delays", fmt(result.fault_delays)});
+  }
   if (opts.spec.monitors != obs::MonitorMode::kOff) {
     table.row({"monitors", obs::to_string(opts.spec.monitors)});
     table.row({"monitor violations", fmt(result.monitor_violations)});
