@@ -89,9 +89,27 @@ bool parse_tick(const Clause& clause, std::string_view key, std::string_view val
   return true;
 }
 
+bool parse_party(const Clause& clause, std::string_view key, std::string_view value,
+                 std::int64_t* out, std::string* error) {
+  if (!parse_i64(value, out) || *out < 0) {
+    return fail(error, std::string(clause.name) + ": " + std::string(key) +
+                           " must be a non-negative party id");
+  }
+  return true;
+}
+
 bool unknown_key(const Clause& clause, std::string_view key, std::string* error) {
   fail(error, std::string(clause.name) + ": unknown key '" + std::string(key) + "'");
   return false;
+}
+
+/// Shared link-targeting check for dup/reorder clauses: a clause with
+/// from/to set applies only to matching senders/receivers; absent = any.
+bool link_matches(const std::optional<PartyId>& want_from,
+                  const std::optional<PartyId>& want_to, PartyId from,
+                  PartyId to) {
+  return (!want_from.has_value() || *want_from == from) &&
+         (!want_to.has_value() || *want_to == to);
 }
 
 }  // namespace
@@ -117,6 +135,14 @@ PartyId FaultPlan::max_party() const noexcept {
   for (const auto& p : partitions) {
     for (const auto id : p.group) max = std::max(max, id);
   }
+  if (dup) {
+    if (dup->from) max = std::max(max, *dup->from);
+    if (dup->to) max = std::max(max, *dup->to);
+  }
+  if (reorder) {
+    if (reorder->from) max = std::max(max, *reorder->from);
+    if (reorder->to) max = std::max(max, *reorder->to);
+  }
   return max;
 }
 
@@ -139,10 +165,23 @@ std::optional<FaultPlan> parse_fault_plan(std::string_view spec, std::string* er
           std::int64_t skew = 0;
           if (!parse_tick(clause, key, value, &skew, error)) return std::nullopt;
           dup.skew = skew;
+        } else if (key == "from") {
+          std::int64_t v = 0;
+          if (!parse_party(clause, key, value, &v, error)) return std::nullopt;
+          dup.from = static_cast<PartyId>(v);
+        } else if (key == "to") {
+          std::int64_t v = 0;
+          if (!parse_party(clause, key, value, &v, error)) return std::nullopt;
+          dup.to = static_cast<PartyId>(v);
         } else {
           unknown_key(clause, key, error);
           return std::nullopt;
         }
+      }
+      if (dup.from && dup.to && *dup.from == *dup.to) {
+        fail(error, "dup: from and to must name distinct parties "
+                    "(self-links carry no wire traffic)");
+        return std::nullopt;
       }
       plan.dup = dup;
     } else if (clause.name == "reorder") {
@@ -160,10 +199,23 @@ std::optional<FaultPlan> parse_fault_plan(std::string_view spec, std::string* er
           std::int64_t skew = 0;
           if (!parse_tick(clause, key, value, &skew, error)) return std::nullopt;
           reorder.skew = skew;
+        } else if (key == "from") {
+          std::int64_t v = 0;
+          if (!parse_party(clause, key, value, &v, error)) return std::nullopt;
+          reorder.from = static_cast<PartyId>(v);
+        } else if (key == "to") {
+          std::int64_t v = 0;
+          if (!parse_party(clause, key, value, &v, error)) return std::nullopt;
+          reorder.to = static_cast<PartyId>(v);
         } else {
           unknown_key(clause, key, error);
           return std::nullopt;
         }
+      }
+      if (reorder.from && reorder.to && *reorder.from == *reorder.to) {
+        fail(error, "reorder: from and to must name distinct parties "
+                    "(self-links carry no wire traffic)");
+        return std::nullopt;
       }
       plan.reorder = reorder;
     } else if (clause.name == "crash") {
@@ -243,12 +295,16 @@ std::string to_string(const FaultPlan& plan) {
   if (plan.dup) {
     out << sep << "dup(p=" << plan.dup->p;
     if (plan.dup->skew > 0) out << ",skew=" << plan.dup->skew;
+    if (plan.dup->from) out << ",from=" << *plan.dup->from;
+    if (plan.dup->to) out << ",to=" << *plan.dup->to;
     out << ')';
     sep = ";";
   }
   if (plan.reorder) {
     out << sep << "reorder(p=" << plan.reorder->p;
     if (plan.reorder->skew > 0) out << ",skew=" << plan.reorder->skew;
+    if (plan.reorder->from) out << ",from=" << *plan.reorder->from;
+    if (plan.reorder->to) out << ",to=" << *plan.reorder->to;
     out << ')';
     sep = ";";
   }
@@ -323,7 +379,12 @@ FaultInjector::Outcome FaultInjector::on_message(PartyId from, PartyId to, Time 
 
   // Reorder: bounded skew under synchrony (total delay stays <= max(base,
   // Delta), so the sync contract holds), unbounded-but-finite otherwise.
-  if (plan_.reorder && rng_.next_double() < plan_.reorder->p) {
+  // Link targeting gates the Rng draw itself (not just the effect): draws
+  // are consumed only for eligible links, so an untargeted plan's schedule
+  // is byte-identical to its pre-targeting form.
+  if (plan_.reorder &&
+      link_matches(plan_.reorder->from, plan_.reorder->to, from, to) &&
+      rng_.next_double() < plan_.reorder->p) {
     const Duration bound =
         plan_.reorder->skew > 0 ? plan_.reorder->skew : config_.delta;
     const Duration extra = rng_.next_int(1, std::max<Duration>(1, bound));
@@ -340,7 +401,8 @@ FaultInjector::Outcome FaultInjector::on_message(PartyId from, PartyId to, Time 
 
   // Duplication: the copy is pure network noise — it is never counted as a
   // party send and arrives no earlier than the primary.
-  if (plan_.dup && rng_.next_double() < plan_.dup->p) {
+  if (plan_.dup && link_matches(plan_.dup->from, plan_.dup->to, from, to) &&
+      rng_.next_double() < plan_.dup->p) {
     const Duration bound = plan_.dup->skew > 0 ? plan_.dup->skew : config_.delta;
     Duration copy = d + rng_.next_int(1, std::max<Duration>(1, bound));
     if (config_.synchronous) copy = std::max(d, std::min(copy, std::max(base, config_.delta)));

@@ -4,10 +4,15 @@
 // string; a FaultInjector compiles it against one run (seed, synchrony flag,
 // Delta) and sits between the DelayModel and the delivery queue. It can
 //
-//   - duplicate messages            dup(p=0.2[,skew=T])
-//   - reorder them                  reorder(p=0.5[,skew=T])
+//   - duplicate messages            dup(p=0.2[,skew=T][,from=I][,to=I])
+//   - reorder them                  reorder(p=0.5[,skew=T][,from=I][,to=I])
 //   - crash-stop / crash-recover    crash(party=I,at=T[,until=T])
 //   - partition with scheduled heal partition(group=I.J.K,from=T,until=T)
+//
+// dup/reorder optionally target one link side: from= restricts the clause to
+// messages sent by that party, to= to messages received by it (either alone
+// matches a whole row/column of the link matrix; both together one directed
+// link). Untargeted clauses apply to every non-self link.
 //
 // Hybrid-model contract (docs/ROBUSTNESS.md): the injector may DELAY or
 // DUPLICATE honest→honest traffic but never lose it — the only drops it
@@ -39,11 +44,22 @@ namespace hydra::faults {
 struct DupClause {
   double p = 0.2;      ///< per-message duplication probability
   Duration skew = 0;   ///< extra delay bound for the copy; 0 = use Delta
+  /// Optional link targeting: when set, only messages sent by `from` /
+  /// received by `to` are eligible. Draw discipline: the injector consumes
+  /// Rng draws ONLY for eligible messages, so an untargeted plan keeps its
+  /// exact pre-targeting schedule and a targeted one is a pure function of
+  /// (plan, seed, per-link message order).
+  std::optional<PartyId> from;
+  std::optional<PartyId> to;
 };
 
 struct ReorderClause {
   double p = 0.5;      ///< per-message probability of extra skew
   Duration skew = 0;   ///< extra delay drawn from [1, skew]; 0 = use Delta
+  /// Optional link targeting; same semantics and draw discipline as
+  /// DupClause::from/to.
+  std::optional<PartyId> from;
+  std::optional<PartyId> to;
 };
 
 struct CrashClause {
@@ -106,9 +122,10 @@ class FaultInjector {
   FaultInjector(FaultPlan plan, Config config);
 
   /// Decides the fate of a message posted at `now` whose DelayModel delay is
-  /// `base` (0 for self-delivery). Every call consumes the same Rng draws
-  /// for the same plan, so the schedule is a pure function of (plan, seed,
-  /// message order).
+  /// `base` (0 for self-delivery). Draws are consumed only for messages a
+  /// clause is eligible to touch (link_matches for targeted dup/reorder), so
+  /// the schedule is a pure function of (plan, seed, eligible-message order)
+  /// and untargeted plans replay their exact pre-targeting schedules.
   [[nodiscard]] Outcome on_message(PartyId from, PartyId to, Time now, Duration base);
 
   /// True when `party` is inside a crash window at time `t`.

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <utility>
 
@@ -16,6 +17,7 @@
 #include "common/log.hpp"
 #include "faults/faults.hpp"
 #include "harness/stats.hpp"
+#include "net/backend.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -23,7 +25,8 @@
 #include "protocols/aa_iteration.hpp"
 #include "protocols/init.hpp"
 #include "sim/delay.hpp"
-#include "sim/simulation.hpp"
+#include "sim/sim_backend.hpp"
+#include "transport/thread_backend.hpp"
 
 namespace hydra::harness {
 namespace {
@@ -176,6 +179,7 @@ void write_metrics_json(const RunSpec& spec, const RunResult& result,
   w.kv("delta", std::int64_t{spec.params.delta});
   w.kv("seed", spec.seed);
   w.kv("faults", spec.faults);
+  w.kv("backend", spec.backend);
   w.end_object();
 
   w.key("verdict");
@@ -237,6 +241,34 @@ void write_metrics_json(const RunSpec& spec, const RunResult& result,
   w.kv("drops", result.fault_drops);
   w.kv("dups", result.fault_dups);
   w.kv("delays", result.fault_delays);
+  w.end_object();
+
+  // Per-party progress (thread backend; arrays empty on the simulator).
+  // Scalars first, then numeric arrays only — the block stays parseable by
+  // obs/report.cpp's flat-object extraction (no nested '}').
+  w.key("progress");
+  w.begin_object();
+  w.kv("backend", spec.backend);
+  w.kv("timed_out", result.timed_out);
+  w.kv("wall_ms", std::int64_t{result.wall_ms});
+  w.kv("timeout_detail", result.timeout_detail);
+  const auto progress_array = [&w, &result](std::string_view name,
+                                            auto&& field) {
+    w.key(name);
+    w.begin_array();
+    for (const auto& p : result.progress) w.value(std::uint64_t{field(p)});
+    w.end_array();
+  };
+  progress_array("finished",
+                 [](const net::PartyProgress& p) -> std::uint64_t { return p.finished ? 1 : 0; });
+  progress_array("crash_stopped",
+                 [](const net::PartyProgress& p) -> std::uint64_t { return p.crash_stopped ? 1 : 0; });
+  progress_array("events",
+                 [](const net::PartyProgress& p) -> std::uint64_t { return p.events; });
+  progress_array("last_progress",
+                 [](const net::PartyProgress& p) -> std::uint64_t {
+                   return static_cast<std::uint64_t>(p.last_progress);
+                 });
   w.end_object();
 
   // Under an installed per-run context this is the run's own registry.
@@ -345,6 +377,22 @@ std::optional<obs::MonitorHost::Config> make_monitor_config(
 }
 
 }  // namespace
+
+void ensure_backends_registered() {
+  // std::call_once rather than static-initializer registration: the adapter
+  // object files live in static libraries, where an unreferenced
+  // self-registering global gets dropped by the linker.
+  static std::once_flag once;
+  std::call_once(once, [] {
+    sim::register_sim_backend();
+    transport::register_thread_backend();
+  });
+}
+
+std::vector<std::string> backend_names() {
+  ensure_backends_registered();
+  return net::backend_names();
+}
 
 std::string to_string(Network network) {
   switch (network) {
@@ -461,10 +509,20 @@ RunResult execute(const RunSpec& spec) {
   const ObsSession obs_session(spec,
                                make_monitor_config(spec, honest_mask, honest_inputs));
 
-  sim::Simulation sim(
-      sim::SimConfig{
-          .n = p.n, .delta = p.delta, .seed = spec.seed, .max_time = spec.max_time},
-      make_network(spec));
+  // One code path for every backend: build the net::Backend named by the
+  // spec ("sim" = deterministic discrete-event simulator, "threads" = real
+  // thread-per-party transport), hand it the same DelayModel, parties, and
+  // injector, and read back backend-neutral stats.
+  ensure_backends_registered();
+  auto backend = net::make_backend(spec.backend,
+                                   net::BackendConfig{.n = p.n,
+                                                      .delta = p.delta,
+                                                      .seed = spec.seed,
+                                                      .max_time = spec.max_time,
+                                                      .us_per_tick = spec.us_per_tick,
+                                                      .timeout_ms = spec.timeout_ms},
+                                   make_network(spec));
+  HYDRA_ASSERT_MSG(backend != nullptr, "unknown RunSpec::backend name");
 
   std::optional<faults::FaultInjector> injector;
   if (!fault_plan.empty()) {
@@ -473,7 +531,7 @@ RunResult execute(const RunSpec& spec) {
                          .seed = spec.seed,
                          .synchronous = is_synchronous(spec.network),
                          .delta = p.delta});
-    sim.set_fault_injector(&*injector);
+    backend->set_fault_injector(&*injector);
     // The scheduled crash/partition timeline lands in the trace up front so
     // hydra report can render it alongside the violation timeline.
     if (obs_session.active()) injector->emit_timeline();
@@ -492,10 +550,21 @@ RunResult execute(const RunSpec& spec) {
   std::vector<const AaParty*> hybrid_parties;
   std::vector<const baselines::SyncLockstepParty*> lockstep_parties;
 
+  // Observer pointers are captured before run(): the net::Backend ownership
+  // contract keeps every party object alive (and unmoved) until the backend
+  // is destroyed, even when the backend takes the unique_ptrs.
+  std::vector<std::unique_ptr<sim::IParty>> parties;
+  parties.reserve(p.n);
+  // Per-slot finishing predicate for the thread backend's shutdown decision
+  // (the simulator detects quiescence and ignores it). Byzantine slots count
+  // as finished from the start — shutdown is driven by the protocol slots.
+  enum class Finish : std::uint8_t { kAlways, kAa, kLockstep };
+  std::vector<Finish> finish_kind(p.n, Finish::kAlways);
+
   for (PartyId id = 0; id < p.n; ++id) {
     const bool corrupt = id < spec.corruptions && spec.adversary != Adversary::kNone;
     if (corrupt) {
-      sim.add_party(make_byzantine(spec.adversary, spec, id, inputs[id], 0x9e3779b9));
+      parties.push_back(make_byzantine(spec.adversary, spec, id, inputs[id], 0x9e3779b9));
       continue;
     }
     // A fault-plan-crashed party runs the honest protocol (the injector
@@ -506,7 +575,8 @@ RunResult execute(const RunSpec& spec) {
       case Protocol::kHybrid: {
         auto party = std::make_unique<AaParty>(p, inputs[id]);
         if (honest_mask[id]) hybrid_parties.push_back(party.get());
-        sim.add_party(std::move(party));
+        finish_kind[id] = Finish::kAa;
+        parties.push_back(std::move(party));
         break;
       }
       case Protocol::kAsyncMh: {
@@ -517,19 +587,33 @@ RunResult execute(const RunSpec& spec) {
         mh.ta = async_mh_ta(p);
         auto party = std::make_unique<AaParty>(mh, inputs[id]);
         if (honest_mask[id]) hybrid_parties.push_back(party.get());
-        sim.add_party(std::move(party));
+        finish_kind[id] = Finish::kAa;
+        parties.push_back(std::move(party));
         break;
       }
       case Protocol::kSyncLockstep: {
         auto party = std::make_unique<baselines::SyncLockstepParty>(lockstep, inputs[id]);
         if (honest_mask[id]) lockstep_parties.push_back(party.get());
-        sim.add_party(std::move(party));
+        finish_kind[id] = Finish::kLockstep;
+        parties.push_back(std::move(party));
         break;
       }
     }
   }
 
-  const auto stats = sim.run();
+  const auto finished = [&finish_kind](const sim::IParty& party, PartyId id) {
+    switch (finish_kind[id]) {
+      case Finish::kAa:
+        return static_cast<const AaParty&>(party).has_output();
+      case Finish::kLockstep:
+        return static_cast<const baselines::SyncLockstepParty&>(party).has_output();
+      case Finish::kAlways:
+        break;
+    }
+    return true;
+  };
+
+  const auto stats = backend->run(parties, finished);
 
   RunResult result;
   result.monitor_aborted = stats.monitor_aborted;
@@ -540,27 +624,35 @@ RunResult execute(const RunSpec& spec) {
     result.fault_delays = totals.delayed;
   }
   if (auto* mon = obs_session.monitors()) {
-    // Totality can only be judged once the queue drained: a truncated run
-    // (limit or strict abort) legitimately leaves undelivered instances.
-    mon->finalize(stats.end_time, !stats.hit_limit && !stats.monitor_aborted);
+    // Totality can only be judged on a quiescent run: the simulator drains
+    // its queue unless truncated (limit or strict abort), while the thread
+    // backend shuts down the moment every party finished and may legally
+    // leave in-flight ΠrBC echoes undelivered.
+    const bool quiescent = spec.backend == "sim" && !stats.hit_limit &&
+                           !stats.monitor_aborted;
+    mon->finalize(stats.end_time, quiescent);
     result.violations = mon->violations();
     result.monitor_violations = mon->total_violations();
   }
   // The session's context starts every run at zero, so no before/after
   // bookkeeping (which raced under concurrent runs) is needed.
   result.safe_area_fallbacks = obs_session.safe_area_fallbacks();
-  for (const auto sent : stats.sent_per_party) {
+  for (const auto sent : stats.wire.sent_per_party) {
     result.max_sent_by_party = std::max(result.max_sent_by_party, sent);
   }
-  result.sent_per_party = stats.sent_per_party;
-  result.messages_per_round = stats.messages_per_round;
-  result.bytes_per_round = stats.bytes_per_round;
+  result.sent_per_party = stats.wire.sent_per_party;
+  result.messages_per_round = stats.wire.messages_per_round;
+  result.bytes_per_round = stats.wire.bytes_per_round;
   result.input_diameter = geo::diameter(honest_inputs);
-  result.messages = stats.messages;
-  result.bytes = stats.bytes;
+  result.messages = stats.wire.messages;
+  result.bytes = stats.wire.bytes;
   result.end_time = stats.end_time;
   result.hit_limit = stats.hit_limit;
   result.rounds = static_cast<double>(stats.end_time) / static_cast<double>(p.delta);
+  result.timed_out = stats.timed_out;
+  result.wall_ms = stats.wall_ms;
+  result.progress = stats.progress;
+  result.timeout_detail = stats.timeout_detail;
 
   std::vector<geo::Vec> outputs;
   std::size_t expected = 0;

@@ -11,6 +11,7 @@
 
 #include "harness/oracles.hpp"
 #include "harness/workloads.hpp"
+#include "net/wire_stats.hpp"
 #include "obs/monitor.hpp"
 #include "protocols/params.hpp"
 
@@ -73,6 +74,17 @@ struct RunSpec {
   std::uint64_t seed = 1;
   Time max_time = 500'000'000;
 
+  /// Execution backend (net/backend.hpp): "sim" — the deterministic
+  /// discrete-event simulator (byte-identical traces per (spec, seed)) — or
+  /// "threads" — one OS thread per party under wall-clock time. Both run the
+  /// identical protocol objects through the identical net::EgressPipeline /
+  /// net::DeliveryGate path; only the scheduler differs.
+  std::string backend = "sim";
+  /// Wall-clock microseconds per tick ("threads" backend only).
+  double us_per_tick = 5.0;
+  /// Wall-clock run cap in milliseconds ("threads" backend only).
+  std::int64_t timeout_ms = 30'000;
+
   /// Fault-injection spec (src/faults/; grammar in docs/ROBUSTNESS.md), e.g.
   /// "dup(p=0.2);crash(party=0,at=5000)". "" = no faults. Parties the plan
   /// crash-stops still RUN the honest protocol (the crash happens at the
@@ -132,12 +144,28 @@ struct RunResult {
   std::uint64_t fault_drops = 0;
   std::uint64_t fault_dups = 0;
   std::uint64_t fault_delays = 0;
+  /// Thread-backend diagnostics (all defaults on the simulator, which
+  /// detects quiescence and can neither stall nor time out).
+  bool timed_out = false;
+  std::int64_t wall_ms = 0;
+  std::vector<net::PartyProgress> progress;  ///< per-party watchdog snapshot
+  std::string timeout_detail;                ///< names WHO stalled on timeout
 };
 
-/// Executes one run on the discrete-event simulator. Thread-safe: every call
-/// installs an isolated per-run obs::Context, so independent specs may
-/// execute concurrently (harness/sweep.hpp) with results byte-identical to
-/// sequential execution per seed.
+/// Registers the builtin execution backends ("sim", "threads") with the
+/// net::Backend registry. Idempotent and thread-safe; execute() calls it on
+/// every run, so only code talking to the registry directly needs it.
+void ensure_backends_registered();
+
+/// Names of the available execution backends, registering the builtins
+/// first (for CLI validation and `hydra list`).
+[[nodiscard]] std::vector<std::string> backend_names();
+
+/// Executes one run on the backend named by `spec.backend` ("sim" default).
+/// Thread-safe: every call installs an isolated per-run obs::Context, so
+/// independent specs may execute concurrently (harness/sweep.hpp) — on the
+/// simulator backend with results byte-identical to sequential execution
+/// per seed.
 [[nodiscard]] RunResult execute(const RunSpec& spec);
 
 }  // namespace hydra::harness

@@ -58,7 +58,7 @@ std::string cell_key(const RunSpec& spec) {
       << spec.params.n << '|' << spec.params.ts << '|' << spec.params.ta << '|'
       << spec.params.dim << '|' << spec.params.eps << '|' << spec.params.delta
       << '|' << spec.corruptions << '|' << spec.workload_scale << '|'
-      << spec.faults;
+      << spec.faults << '|' << spec.backend;
   return key.str();
 }
 
@@ -185,6 +185,7 @@ bool write_sweep_summary_json(const std::string& path,
     w.kv("eps", spec.params.eps);
     w.kv("delta", std::int64_t{spec.params.delta});
     w.kv("faults", spec.faults);
+    w.kv("backend", spec.backend);
     w.end_object();
 
     Stats rounds;
@@ -194,6 +195,10 @@ bool write_sweep_summary_json(const std::string& path,
     std::uint64_t hit_limit = 0;
     std::uint64_t monitor_violations = 0;
     std::uint64_t monitor_aborted = 0;
+    std::uint64_t timed_out = 0;
+    std::uint64_t finished = 0;
+    std::uint64_t crash_stopped = 0;
+    std::uint64_t progress_events = 0;
     for (const auto index : cell.indices) {
       const auto& r = results[index];
       rounds.add(r.rounds);
@@ -203,6 +208,12 @@ bool write_sweep_summary_json(const std::string& path,
       hit_limit += r.hit_limit ? 1 : 0;
       monitor_violations += r.monitor_violations;
       monitor_aborted += r.monitor_aborted ? 1 : 0;
+      timed_out += r.timed_out ? 1 : 0;
+      for (const auto& p : r.progress) {
+        finished += p.finished ? 1 : 0;
+        crash_stopped += p.crash_stopped ? 1 : 0;
+        progress_events += p.events;
+      }
     }
     w.kv("runs", std::uint64_t{cell.indices.size()});
     w.kv("passed", std::uint64_t{cell.passed});
@@ -217,6 +228,13 @@ bool write_sweep_summary_json(const std::string& path,
     w.kv("hit_limit", hit_limit);
     w.kv("monitor_violations", monitor_violations);
     w.kv("monitor_aborted", monitor_aborted);
+    // Thread-backend progress aggregates (all zero on the simulator, which
+    // reports no watchdog snapshot): party-run totals across the cell's
+    // seeds, so a stalled or timed-out backend shows up per cell.
+    w.kv("timed_out", timed_out);
+    w.kv("parties_finished", finished);
+    w.kv("parties_crash_stopped", crash_stopped);
+    w.kv("progress_events", progress_events);
     w.end_object();
   }
   w.end_array();

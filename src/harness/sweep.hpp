@@ -55,8 +55,9 @@ struct SweepCell {
 
 /// Writes the merged sweep summary JSON: per-cell aggregates (pass counts,
 /// rounds/messages/output-diameter stats, fallback totals, invariant-monitor
-/// violation/abort counts) plus a flat failure list of (cell, seed) and a
-/// top-level `monitor_violations` total. Logs an error and returns false
+/// violation/abort counts, thread-backend timeout/progress totals) plus a
+/// flat failure list of (cell, seed) and a top-level `monitor_violations`
+/// total. Logs an error and returns false
 /// when the path cannot be opened.
 bool write_sweep_summary_json(const std::string& path,
                               const std::vector<RunSpec>& grid,

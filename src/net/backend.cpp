@@ -1,0 +1,62 @@
+#include "net/backend.hpp"
+
+#include <mutex>
+#include <utility>
+
+namespace hydra::net {
+namespace {
+
+struct RegistryState {
+  std::mutex mutex;
+  // Registration-order vector (not a map): `hydra list` shows backends in
+  // the order they registered, builtin first.
+  std::vector<std::pair<std::string, BackendFactory>> entries;
+};
+
+RegistryState& state() {
+  static RegistryState s;
+  return s;
+}
+
+}  // namespace
+
+void register_backend(std::string name, BackendFactory factory) {
+  auto& s = state();
+  const std::lock_guard lock(s.mutex);
+  for (auto& [existing, slot] : s.entries) {
+    if (existing == name) {
+      slot = std::move(factory);
+      return;
+    }
+  }
+  s.entries.emplace_back(std::move(name), std::move(factory));
+}
+
+std::unique_ptr<Backend> make_backend(std::string_view name,
+                                      const BackendConfig& config,
+                                      std::unique_ptr<sim::DelayModel> delay_model) {
+  BackendFactory factory;
+  {
+    auto& s = state();
+    const std::lock_guard lock(s.mutex);
+    for (const auto& [existing, slot] : s.entries) {
+      if (existing == name) {
+        factory = slot;
+        break;
+      }
+    }
+  }
+  if (!factory) return nullptr;
+  return factory(config, std::move(delay_model));
+}
+
+std::vector<std::string> backend_names() {
+  auto& s = state();
+  const std::lock_guard lock(s.mutex);
+  std::vector<std::string> names;
+  names.reserve(s.entries.size());
+  for (const auto& [name, factory] : s.entries) names.push_back(name);
+  return names;
+}
+
+}  // namespace hydra::net

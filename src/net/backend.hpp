@@ -1,0 +1,104 @@
+// Pluggable execution backends.
+//
+// A Backend runs a set of sim::IParty protocol objects under one network
+// model and returns backend-neutral statistics. Two implementations
+// register themselves here: "sim" (sim::SimBackend, the deterministic
+// discrete-event simulator) and "threads" (transport::ThreadBackend, one OS
+// thread per party under wall-clock time). harness::execute() selects one by
+// name through a single code path, so a third backend (e.g. a socket
+// transport) is an ~one-file addition: implement Backend, call
+// register_backend() at startup.
+//
+// Ownership contract: run() receives the parties by reference and MAY move
+// them into backend-internal storage (the simulator does; the thread
+// transport borrows them in place). Either way the party objects themselves
+// never move and stay alive until the Backend is destroyed, so callers can
+// capture raw observer pointers before run() and inspect protocol state
+// afterwards.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/wire_stats.hpp"
+#include "sim/delay.hpp"
+#include "sim/env.hpp"
+
+namespace hydra::faults {
+class FaultInjector;
+}
+
+namespace hydra::net {
+
+struct BackendConfig {
+  std::size_t n = 4;
+  Duration delta = 1000;  ///< the public bound Delta, in ticks
+  std::uint64_t seed = 1;
+  // Deterministic-simulator limits (ignored by wall-clock backends).
+  Time max_time = 500'000'000;
+  std::uint64_t max_events = 50'000'000;
+  // Wall-clock pacing (ignored by the simulator).
+  double us_per_tick = 1.0;
+  std::int64_t timeout_ms = 30'000;
+};
+
+/// Backend-neutral run result: shared wire accounting plus the union of the
+/// per-backend diagnostics (each backend fills what it can measure).
+struct BackendStats {
+  WireStats wire;
+  Time end_time = 0;         ///< virtual end time in ticks
+  std::uint64_t events = 0;  ///< simulator event count (0 on threads)
+  bool hit_limit = false;    ///< stopped by max_time/max_events (sim only)
+  /// Stopped early because a strict-mode invariant monitor requested it.
+  bool monitor_aborted = false;
+  bool timed_out = false;     ///< wall-clock timeout elapsed (threads only)
+  std::int64_t wall_ms = 0;   ///< wall-clock duration (threads only)
+  /// Per-party watchdog snapshot (threads only; empty on sim).
+  std::vector<PartyProgress> progress;
+  /// Names WHO stalled when timed_out (threads only).
+  std::string timeout_detail;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// True for every party that reached its protocol's finishing condition.
+  /// Wall-clock backends need this to decide shutdown (they cannot detect
+  /// quiescence); the simulator ignores it and runs to queue drain.
+  using FinishedFn = std::function<bool(const sim::IParty&, PartyId)>;
+
+  /// Runs the parties to completion (see the ownership contract above).
+  /// `finished` is evaluated on the party's own execution context after
+  /// every handled event, so it may touch party state safely.
+  virtual BackendStats run(std::vector<std::unique_ptr<sim::IParty>>& parties,
+                           const FinishedFn& finished) = 0;
+
+  /// Installs a fault injector (src/faults/) consulted on every message.
+  /// Borrowed: must outlive run(). nullptr keeps the fault-free fast path.
+  virtual void set_fault_injector(faults::FaultInjector* injector) = 0;
+};
+
+using BackendFactory = std::function<std::unique_ptr<Backend>(
+    const BackendConfig&, std::unique_ptr<sim::DelayModel>)>;
+
+/// Registers (or replaces) a backend under `name`. Thread-safe. Builtin
+/// backends register via harness::ensure_backends_registered() — explicit
+/// registration, because static-initializer tricks get dropped by the linker
+/// when the adapter object files live in static libraries.
+void register_backend(std::string name, BackendFactory factory);
+
+/// Builds a registered backend; nullptr for unknown names. Thread-safe.
+[[nodiscard]] std::unique_ptr<Backend> make_backend(
+    std::string_view name, const BackendConfig& config,
+    std::unique_ptr<sim::DelayModel> delay_model);
+
+/// Registered backend names, in registration order. Thread-safe.
+[[nodiscard]] std::vector<std::string> backend_names();
+
+}  // namespace hydra::net

@@ -1,0 +1,239 @@
+// Backend-neutral egress pipeline: the single send-side code path shared by
+// the discrete-event simulator and the real-thread transport.
+//
+// One message posted by a party flows through exactly one sequence of
+// decisions regardless of backend:
+//
+//   1. wire accounting     self-deliveries are local computation — exempt
+//                          from every message/byte count (Thm 5.19 bounds
+//                          wire traffic, and the accounting is pre-injector
+//                          by contract: duplicates and drops are network
+//                          behaviour, not party sends);
+//   2. fault injection     FaultInjector outcome -> drop / duplicate / delay;
+//   3. id allocation       trace send-event ids, plus queue tie-break
+//                          sequence numbers for deadline-ordered mailboxes;
+//   4. observability       metric counters, per-round accounting and the
+//                          delay/Delta histogram under deterministic virtual
+//                          time, the monitor on_send hook, and the trace
+//                          `send` event followed by fault drop/dup events.
+//
+// The backend supplies scheduling only: it enqueues the returned copies at
+// now + delay using its own queue discipline. Keeping both transports on
+// this one path is what keeps their accounting, fault handling, and trace
+// semantics from drifting (PR 4 had to patch self-delivery accounting in two
+// hand-rolled loops; this layer makes that class of drift structurally
+// impossible).
+//
+// The pipeline is a template over its counter representation so each backend
+// pays only for the concurrency it needs: the single-threaded simulator
+// instantiates plain uint64 counters (EgressPipeline — the disabled path is
+// one obs::enabled() load plus plain arithmetic, held to < 2% overhead by
+// bench_obs_overhead), while the thread transport instantiates relaxed
+// atomics (ConcurrentEgressPipeline — post() runs concurrently on every
+// sender thread).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+#include "faults/faults.hpp"
+#include "net/wire_stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/monitor.hpp"
+#include "obs/trace.hpp"
+#include "sim/message.hpp"
+
+namespace hydra::net {
+
+struct EgressConfig {
+  std::size_t n = 0;
+  Duration delta = 1000;  ///< the public bound Delta, in ticks
+  /// Deterministic virtual-time backends keep per-round message/byte vectors
+  /// and the delay/Delta histogram; wall-clock backends leave this off (their
+  /// round boundaries are not comparable across nondeterministic schedules).
+  bool per_round = false;
+  /// Allocate a sequence number for EVERY send, observability on or off:
+  /// deadline-ordered mailboxes need the tie-break, and the trace send id is
+  /// then seq + 1 so 0 keeps meaning "no cause". When false, ids are
+  /// allocated lazily — only while observability is enabled — so the
+  /// disabled path stays untouched and same-seed traces stay identical.
+  bool eager_ids = false;
+  /// Registry metric names (the simulator historically exports sim.*, the
+  /// thread transport net.*).
+  const char* messages_counter = "net.messages";
+  const char* bytes_counter = "net.bytes";
+  const char* delay_histogram = "net.delay_delta";
+};
+
+/// What the backend must schedule for one posted message.
+struct Egress {
+  std::uint32_t copies = 0;  ///< 0 = dropped (crashed endpoint); 1; 2 = dup
+  std::array<Duration, 2> delay{};     ///< [0] primary, [1] duplicate copy
+  std::array<std::uint64_t, 2> seq{};  ///< queue tie-breaks (eager_ids mode)
+  /// Trace send-event id (1-based). A duplicate shares the original's id:
+  /// one `send` event, two `deliver`s with the same cause. 0 = none
+  /// allocated (lazy mode with observability off).
+  std::uint64_t send_id = 0;
+};
+
+namespace detail {
+
+/// Single-threaded counter: plain arithmetic, zero synchronization cost.
+struct PlainCounter {
+  std::uint64_t value = 0;
+  void add(std::uint64_t x) noexcept { value += x; }
+  std::uint64_t fetch_add_one() noexcept { return value++; }
+  [[nodiscard]] std::uint64_t load() const noexcept { return value; }
+};
+
+/// Multi-threaded counter: relaxed atomics — totals need no ordering, only
+/// eventual consistency at the post-join read.
+struct RelaxedCounter {
+  std::atomic<std::uint64_t> value{0};
+  void add(std::uint64_t x) noexcept {
+    value.fetch_add(x, std::memory_order_relaxed);
+  }
+  std::uint64_t fetch_add_one() noexcept {
+    return value.fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t load() const noexcept {
+    return value.load(std::memory_order_relaxed);
+  }
+};
+
+}  // namespace detail
+
+template <typename Counter>
+class BasicEgressPipeline {
+ public:
+  explicit BasicEgressPipeline(const EgressConfig& config)
+      : config_(config), sent_per_party_(config.n) {
+    HYDRA_ASSERT(config_.n >= 1);
+  }
+
+  BasicEgressPipeline(const BasicEgressPipeline&) = delete;
+  BasicEgressPipeline& operator=(const BasicEgressPipeline&) = delete;
+
+  /// The single send-side code path. `base` is the backend's DelayModel draw
+  /// (0 for self-delivery, >= 1 otherwise); `injector` may be null (the
+  /// fault-free fast path is a single branch). Returns what to enqueue.
+  Egress on_send(PartyId from, PartyId to, const sim::Message& msg, Time now,
+                 Duration base, faults::FaultInjector* injector) {
+    const bool self = from == to;
+    HYDRA_ASSERT(self || base >= 1);
+    if (!self) {
+      messages_.add(1);
+      bytes_.add(msg.wire_size());
+      sent_per_party_[from].add(1);
+    }
+    Egress out;
+    out.copies = 1;
+    out.delay[0] = base;
+    const char* drop_reason = nullptr;
+    if (injector != nullptr) {
+      const auto outcome = injector->on_message(from, to, now, base);
+      out.delay[0] = outcome.delays[0];
+      if (outcome.dropped) {
+        out.copies = 0;
+        drop_reason = outcome.reason;
+      } else if (outcome.duplicated) {
+        out.copies = 2;
+        out.delay[1] = outcome.delays[1];
+      }
+    }
+    if (config_.eager_ids) {
+      // A dropped message still consumes a sequence number, keeping the id
+      // stream a pure function of the post order under any fault plan.
+      out.seq[0] = ids_.fetch_add_one();
+      out.send_id = out.seq[0] + 1;
+      if (out.copies == 2) out.seq[1] = ids_.fetch_add_one();
+    }
+    // Disabled hot path ends here: one obs::enabled() load and nothing else.
+    if (obs::enabled()) {
+      if (!config_.eager_ids) out.send_id = ids_.fetch_add_one() + 1;
+      record(from, to, msg, now, out, injector != nullptr, drop_reason);
+    }
+    return out;
+  }
+
+  /// Folds the wire totals into `out`. Call after the run: on the thread
+  /// backend this must happen once senders are joined (relaxed counters).
+  void export_stats(WireStats& out) const {
+    out.messages = messages_.load();
+    out.bytes = bytes_.load();
+    out.sent_per_party.assign(sent_per_party_.size(), 0);
+    for (std::size_t i = 0; i < sent_per_party_.size(); ++i) {
+      out.sent_per_party[i] = sent_per_party_[i].load();
+    }
+    out.messages_per_round = messages_per_round_;
+    out.bytes_per_round = bytes_per_round_;
+  }
+
+  [[nodiscard]] std::uint64_t messages() const noexcept { return messages_.load(); }
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_.load(); }
+
+ private:
+  /// Observability slow path. Event order is part of the trace contract:
+  /// counters and per-round accounting, the monitor hook, then the `send`
+  /// trace event (self-deliveries stay visible in the trace — they carry
+  /// causality — but never touch a counter), then any fault drop/dup event.
+  void record(PartyId from, PartyId to, const sim::Message& msg, Time now,
+              const Egress& out, bool injected, const char* drop_reason) {
+    if (from != to) {
+      auto& registry = obs::registry();
+      registry.counter(config_.messages_counter).inc();
+      registry.counter(config_.bytes_counter).inc(msg.wire_size());
+      if (config_.per_round && config_.delta > 0) {
+        // Per-round accounting: the paper's round structure is in units of
+        // Delta.
+        const auto round = static_cast<std::size_t>(now / config_.delta);
+        if (messages_per_round_.size() <= round) {
+          messages_per_round_.resize(round + 1, 0);
+          bytes_per_round_.resize(round + 1, 0);
+        }
+        messages_per_round_[round] += 1;
+        bytes_per_round_[round] += msg.wire_size();
+        // Delay in units of Delta: >1 means the synchrony bound was violated.
+        // The FINAL post-injector delay is observed, dropped or not.
+        static constexpr std::array<double, 7> kBounds{0.25, 0.5, 1.0, 2.0,
+                                                       4.0,  8.0, 16.0};
+        registry.histogram(config_.delay_histogram, kBounds)
+            .observe(static_cast<double>(out.delay[0]) /
+                     static_cast<double>(config_.delta));
+      }
+      if (auto* mon = obs::monitors()) {
+        mon->on_send(now, from, msg.wire_size());
+      }
+    }
+    if (auto* tr = obs::trace()) {
+      tr->message_send(now, from, to, msg.key.tag, msg.key.a, msg.key.b,
+                       msg.kind, msg.wire_size(), out.send_id);
+      if (injected) {
+        if (drop_reason != nullptr) {
+          tr->fault(now, "drop", from, to, out.send_id, drop_reason);
+        } else if (out.copies == 2) {
+          tr->fault(now, "dup", from, to, out.send_id, "");
+        }
+      }
+    }
+  }
+
+  EgressConfig config_;
+  Counter messages_;
+  Counter bytes_;
+  Counter ids_;
+  std::vector<Counter> sent_per_party_;
+  // Mutated only under obs::enabled() && per_round, i.e. only by the
+  // single-threaded simulator; the thread backend never touches them.
+  std::vector<std::uint64_t> messages_per_round_;
+  std::vector<std::uint64_t> bytes_per_round_;
+};
+
+using EgressPipeline = BasicEgressPipeline<detail::PlainCounter>;
+using ConcurrentEgressPipeline = BasicEgressPipeline<detail::RelaxedCounter>;
+
+}  // namespace hydra::net

@@ -1,0 +1,43 @@
+// Backend-neutral wire statistics.
+//
+// Both transports (sim::Simulation, transport::ThreadNetwork) account for
+// network traffic through the shared net::EgressPipeline, and both publish
+// the result in this common shape: SimStats and ThreadNetStats each derive
+// from WireStats, so harness code can read message/byte totals without
+// knowing which backend produced them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hydra::net {
+
+struct WireStats {
+  /// Wire traffic only: self-deliveries are local computation and are
+  /// excluded from every message/byte count below.
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  /// Messages sent per party (index = PartyId): per-party bandwidth lens,
+  /// e.g. to spot a spamming Byzantine slot or asymmetric load.
+  std::vector<std::uint64_t> sent_per_party;
+  /// Per-round communication accounting, index = floor(send time / delta).
+  /// Collected only while observability is enabled (obs::enabled()) and only
+  /// by backends with deterministic virtual time (EgressConfig::per_round);
+  /// empty otherwise so the disabled hot path stays a single branch.
+  std::vector<std::uint64_t> messages_per_round;
+  std::vector<std::uint64_t> bytes_per_round;
+};
+
+/// Per-party progress snapshot, filled in by the thread backend's watchdog
+/// after the run (empty on the simulator, whose quiescence detection makes a
+/// stall impossible to confuse with completion).
+struct PartyProgress {
+  bool finished = false;       ///< `finished` predicate held at shutdown
+  bool crash_stopped = false;  ///< a fault-plan crash-stop silenced the party
+  std::uint64_t events = 0;    ///< messages + timers the party handled
+  Time last_progress = 0;      ///< tick of the party's last handled event
+};
+
+}  // namespace hydra::net

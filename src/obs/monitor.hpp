@@ -37,8 +37,9 @@
 // Thread safety: hooks serialize on an internal mutex (the thread transport
 // calls on_send from many party threads); abort_requested() is a relaxed
 // atomic read so the simulator's per-event poll stays cheap. Causal
-// attribution (begin_dispatch/end_dispatch) is only wired up by the
-// deterministic simulator.
+// attribution (begin_dispatch/end_dispatch) is wired up by both backends
+// through net::DeliveryGate; the in-dispatch cause is thread-local, so each
+// thread-transport worker attributes its own dispatches independently.
 #pragma once
 
 #include <atomic>
@@ -125,11 +126,12 @@ class MonitorHost {
 
   explicit MonitorHost(Config config);
 
-  // -- causal attribution (deterministic simulator only) --------------------
+  // -- causal attribution (both backends, via net::DeliveryGate) ------------
 
-  /// The simulator brackets each message dispatch with the trace event id of
+  /// The transport brackets each message dispatch with the trace event id of
   /// the originating send, so violations detected inside the handler can
-  /// name the message that carried the bad value.
+  /// name the message that carried the bad value. Per-thread: brackets on
+  /// different worker threads never observe each other's cause.
   void begin_dispatch(std::uint64_t cause) noexcept { current_cause_ = cause; }
   void end_dispatch() noexcept { current_cause_ = 0; }
 
@@ -191,10 +193,13 @@ class MonitorHost {
   std::uint64_t total_ = 0;
   std::map<std::string, std::uint64_t, std::less<>> by_monitor_;
   std::atomic<bool> abort_{false};
-  /// Send-event id of the message currently being dispatched (sim only; the
-  /// thread transport leaves it 0 and never races because it does not call
-  /// begin_dispatch).
-  std::uint64_t current_cause_ = 0;
+  /// Send-event id of the message currently being dispatched on THIS thread.
+  /// thread_local (shared by all MonitorHost instances, which is harmless —
+  /// a thread dispatches for at most one host at a time): the simulator
+  /// brackets on its single driver thread, while thread-transport workers
+  /// bracket concurrently and must not cross-attribute causes. Hooks read it
+  /// under mutex_ from the hook-calling (= bracketing) thread.
+  static thread_local std::uint64_t current_cause_;
 
   // validity / contraction state
   std::map<std::uint32_t, std::vector<geo::Vec>> layers_;  ///< honest values per iteration

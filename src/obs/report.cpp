@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <utility>
@@ -38,6 +39,27 @@ std::string extract_object(const std::string& doc, const std::string& key) {
   const auto close = doc.find('}', open);
   if (close == std::string::npos) return {};
   return doc.substr(open, close - open + 1);
+}
+
+/// Parses the comma-separated non-negative integers of `"key":[...]` inside
+/// `doc` (our own writer's output, so no whitespace surprises); empty when
+/// the key is absent or the array is empty.
+std::vector<std::uint64_t> parse_u64_array(const std::string& doc,
+                                           const std::string& key) {
+  const std::string needle = "\"" + key + "\":[";
+  const auto at = doc.find(needle);
+  if (at == std::string::npos) return {};
+  std::vector<std::uint64_t> out;
+  std::size_t i = at + needle.size();
+  while (i < doc.size() && doc[i] != ']') {
+    char* end = nullptr;
+    const auto v = std::strtoull(doc.c_str() + i, &end, 10);
+    if (end == doc.c_str() + i) break;
+    out.push_back(v);
+    i = static_cast<std::size_t>(end - doc.c_str());
+    if (i < doc.size() && doc[i] == ',') ++i;
+  }
+  return out;
 }
 
 struct ViolationRow {
@@ -293,6 +315,25 @@ std::size_t render_report(std::istream& trace, const std::string& metrics_json,
   const auto verdict = parse_flat_object(extract_object(metrics_json, "verdict"));
   const auto monitor = parse_flat_object(extract_object(metrics_json, "monitor"));
 
+  // The "progress" block (harness/runner.cpp) writes its scalars before its
+  // numeric arrays, so truncating at the first array yields a flat object the
+  // shared parser understands; the arrays get their own parser.
+  const std::string progress_doc = extract_object(metrics_json, "progress");
+  std::map<std::string, std::string> progress;
+  if (!progress_doc.empty()) {
+    const auto cut = progress_doc.find(":[");
+    if (cut == std::string::npos) {
+      progress = parse_flat_object(progress_doc);
+    } else {
+      const auto comma = progress_doc.rfind(',', cut);
+      progress = parse_flat_object(progress_doc.substr(0, comma) + "}");
+    }
+  }
+  const auto prog_finished = parse_u64_array(progress_doc, "finished");
+  const auto prog_crashed = parse_u64_array(progress_doc, "crash_stopped");
+  const auto prog_events = parse_u64_array(progress_doc, "events");
+  const auto prog_last = parse_u64_array(progress_doc, "last_progress");
+
   MarkdownRenderer md(out);
   HtmlRenderer html(out);
   Renderer& r = options.format == ReportOptions::Format::kHtml
@@ -335,6 +376,31 @@ std::size_t render_report(std::istream& trace, const std::string& metrics_json,
       r.para("(showing the first " + std::to_string(s.faults.size()) + " of " +
              std::to_string(s.total_faults) + ")");
     }
+  }
+
+  // Watchdog snapshot: present only for thread-backend runs (the simulator
+  // reports no per-party progress — quiescence detection makes it moot).
+  if (!prog_finished.empty()) {
+    r.section("Party progress (thread backend)");
+    std::string summary = "Backend '" + str(progress, "backend") + "', " +
+                          str(progress, "wall_ms") + " ms wall clock";
+    if (str(progress, "timed_out") == "true") {
+      const std::string detail = str(progress, "timeout_detail");
+      summary += " — TIMED OUT" + (detail.empty() ? "" : ": " + detail);
+    }
+    r.para(summary + ".");
+    const auto at = [](const std::vector<std::uint64_t>& v, std::size_t id) {
+      return id < v.size() ? v[id] : std::uint64_t{0};
+    };
+    std::vector<std::vector<std::string>> rows;
+    for (std::size_t id = 0; id < prog_finished.size(); ++id) {
+      rows.push_back({std::to_string(id), at(prog_finished, id) != 0 ? "yes" : "no",
+                      at(prog_crashed, id) != 0 ? "yes" : "no",
+                      std::to_string(at(prog_events, id)),
+                      std::to_string(at(prog_last, id))});
+    }
+    r.table({"party", "finished", "crash-stopped", "events", "last progress (t)"},
+            rows);
   }
 
   r.section("Invariant violations");

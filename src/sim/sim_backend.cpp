@@ -1,0 +1,62 @@
+#include "sim/sim_backend.hpp"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/backend.hpp"
+#include "sim/simulation.hpp"
+
+namespace hydra::sim {
+namespace {
+
+/// The parties are moved into the simulation, which the adapter keeps alive
+/// until it is destroyed — caller-held observer pointers stay valid per the
+/// net::Backend ownership contract.
+class SimBackend final : public net::Backend {
+ public:
+  SimBackend(const net::BackendConfig& config,
+             std::unique_ptr<DelayModel> delay_model)
+      : sim_(SimConfig{.n = config.n,
+                       .delta = config.delta,
+                       .seed = config.seed,
+                       .max_time = config.max_time,
+                       .max_events = config.max_events},
+             std::move(delay_model)) {}
+
+  void set_fault_injector(faults::FaultInjector* injector) override {
+    sim_.set_fault_injector(injector);
+  }
+
+  net::BackendStats run(std::vector<std::unique_ptr<IParty>>& parties,
+                        const FinishedFn& finished) override {
+    // Quiescence detection makes the finished predicate unnecessary here:
+    // the run ends when the event queue drains.
+    (void)finished;
+    for (auto& party : parties) sim_.add_party(std::move(party));
+    const SimStats stats = sim_.run();
+    net::BackendStats out;
+    out.wire = stats;  // slice down to the shared WireStats base
+    out.end_time = stats.end_time;
+    out.events = stats.events;
+    out.hit_limit = stats.hit_limit;
+    out.monitor_aborted = stats.monitor_aborted;
+    return out;
+  }
+
+ private:
+  Simulation sim_;
+};
+
+}  // namespace
+
+void register_sim_backend() {
+  net::register_backend(
+      "sim",
+      [](const net::BackendConfig& config,
+         std::unique_ptr<DelayModel> delay_model) -> std::unique_ptr<net::Backend> {
+        return std::make_unique<SimBackend>(config, std::move(delay_model));
+      });
+}
+
+}  // namespace hydra::sim

@@ -1,0 +1,12 @@
+// net::Backend adapter for the deterministic discrete-event simulator.
+#pragma once
+
+namespace hydra::sim {
+
+/// Registers the simulator as net backend "sim". Idempotent (re-registering
+/// replaces the factory); called from harness::ensure_backends_registered()
+/// — explicit rather than a static initializer, which the linker would drop
+/// from a static library.
+void register_sim_backend();
+
+}  // namespace hydra::sim

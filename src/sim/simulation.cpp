@@ -1,14 +1,13 @@
 #include "sim/simulation.hpp"
 
 #include <algorithm>
-#include <array>
 #include <utility>
 
 #include "common/assert.hpp"
 #include "faults/faults.hpp"
+#include "net/delivery.hpp"
 #include "obs/metrics.hpp"
 #include "obs/monitor.hpp"
-#include "obs/trace.hpp"
 
 namespace hydra::sim {
 
@@ -46,10 +45,18 @@ class Simulation::PartyEnv final : public Env {
 };
 
 Simulation::Simulation(SimConfig config, std::unique_ptr<DelayModel> delay_model)
-    : config_(config), delay_model_(std::move(delay_model)), rng_(config.seed) {
+    : config_(config),
+      delay_model_(std::move(delay_model)),
+      rng_(config.seed),
+      pipeline_(net::EgressConfig{.n = config.n,
+                                  .delta = config.delta,
+                                  .per_round = true,
+                                  .eager_ids = false,
+                                  .messages_counter = "sim.messages",
+                                  .bytes_counter = "sim.bytes",
+                                  .delay_histogram = "sim.delay_delta"}) {
   HYDRA_ASSERT(delay_model_ != nullptr);
   HYDRA_ASSERT(config_.n >= 1);
-  stats_.sent_per_party.assign(config_.n, 0);
 }
 
 Simulation::~Simulation() = default;
@@ -69,130 +76,59 @@ void Simulation::schedule_phase(Time at, Phase phase, std::function<void()> fn) 
   queue_.push(Event{at, phase, next_seq_++, std::move(fn)});
 }
 
-void Simulation::record_send(PartyId from, PartyId to, const Message& msg,
-                             Duration delay, std::uint64_t send_id) {
-  // Self-deliveries stay visible in the trace (they carry causality) but are
-  // excluded from every message/byte count, matching SimStats and keeping
-  // per-party totals comparable to the Thm 5.19 wire bound.
-  if (from != to) {
-    auto& registry = obs::registry();
-    registry.counter("sim.messages").inc();
-    registry.counter("sim.bytes").inc(msg.wire_size());
-    if (config_.delta > 0) {
-      // Per-round accounting: the paper's round structure is in units of
-      // Delta.
-      const auto round = static_cast<std::size_t>(now_ / config_.delta);
-      if (stats_.messages_per_round.size() <= round) {
-        stats_.messages_per_round.resize(round + 1, 0);
-        stats_.bytes_per_round.resize(round + 1, 0);
-      }
-      stats_.messages_per_round[round] += 1;
-      stats_.bytes_per_round[round] += msg.wire_size();
-      // Delay in units of Delta: >1 means the synchrony bound was violated.
-      static constexpr std::array<double, 7> kBounds{0.25, 0.5, 1.0, 2.0,
-                                                     4.0,  8.0, 16.0};
-      registry.histogram("sim.delay_delta", kBounds)
-          .observe(static_cast<double>(delay) / static_cast<double>(config_.delta));
-    }
-    if (auto* mon = obs::monitors()) {
-      mon->on_send(now_, from, msg.wire_size());
-    }
-  }
-  if (auto* tr = obs::trace()) {
-    tr->message_send(now_, from, to, msg.key.tag, msg.key.a, msg.key.b, msg.kind,
-                     msg.wire_size(), send_id);
-  }
-}
-
 void Simulation::schedule_traced_delivery(Time at, PartyId from, PartyId to,
                                           Message msg, std::uint64_t send_id) {
   Simulation* sim = this;
   schedule_phase(at, Phase::kMessage,
                  [sim, from, to, send_id, msg = std::move(msg)] {
-    if (auto* tr = obs::trace()) {
-      tr->message_deliver(sim->now_, from, to, msg.key.tag, msg.key.a,
-                          msg.key.b, msg.kind, msg.wire_size(), send_id);
-    }
-    if (auto* mon = obs::monitors()) {
-      // Bracket the handler so monitor checks fired inside it can name
-      // this message as their cause.
-      mon->begin_dispatch(send_id);
+    net::DeliveryGate::dispatch(sim->now_, from, to, msg, send_id, [&] {
       sim->parties_[to]->on_message(*sim->envs_[to], from, msg);
-      mon->end_dispatch();
-      return;
-    }
-    sim->parties_[to]->on_message(*sim->envs_[to], from, msg);
+    });
   });
 }
 
 void Simulation::deliver(PartyId from, PartyId to, Message msg) {
   const bool self = from == to;
   // Self-delivery is local computation, not network traffic: zero delay (but
-  // still queued, so handlers never re-enter) and excluded from all message
-  // accounting — only wire traffic counts against the paper's bounds.
+  // still queued, so handlers never re-enter); the pipeline exempts it from
+  // all message accounting — only wire traffic counts against the paper's
+  // bounds. All other egress policy (fault outcomes, ids, obs emission)
+  // lives in net::EgressPipeline, shared with the thread transport.
   const Duration base = self ? 0 : delay_model_->delay(from, to, now_, msg, rng_);
-  HYDRA_ASSERT(self || base >= 1);
-  if (!self) {
-    stats_.messages += 1;
-    stats_.bytes += msg.wire_size();
-    stats_.sent_per_party[from] += 1;
-  }
+  const auto egress = pipeline_.on_send(from, to, msg, now_, base, injector_);
+  if (egress.copies == 0) return;  // crashed endpoint dropped it
 
-  Duration d = base;
-  Duration dup_delay = -1;  // >= 0 schedules a duplicate copy at that delay
-  const char* drop_reason = nullptr;
-  if (injector_ != nullptr) {
-    const auto outcome = injector_->on_message(from, to, now_, base);
-    d = outcome.delays[0];
-    if (outcome.dropped) {
-      drop_reason = outcome.reason;
-    } else if (outcome.duplicated) {
-      dup_delay = outcome.delays[1];
+  if (egress.send_id != 0) {
+    // Observability was on for this send (lazy id mode allocates ids only
+    // then, and the obs state cannot change while run() executes): schedule
+    // traced deliveries. A duplicate shares the original's send id — one
+    // send event, two delivers with the same cause.
+    schedule_traced_delivery(now_ + egress.delay[0], from, to,
+                             egress.copies == 2 ? Message(msg) : std::move(msg),
+                             egress.send_id);
+    if (egress.copies == 2) {
+      schedule_traced_delivery(now_ + egress.delay[1], from, to, std::move(msg),
+                               egress.send_id);
     }
-  }
-
-  Simulation* sim = this;
-  if (obs::enabled()) {
-    // The obs state cannot change while run() executes, so the dispatch
-    // closure needs no enabled() re-check of its own.
-    const std::uint64_t send_id = ++send_id_;
-    record_send(from, to, msg, d, send_id);
-    if (injector_ != nullptr) {
-      if (auto* tr = obs::trace()) {
-        if (drop_reason != nullptr) {
-          tr->fault(now_, "drop", from, to, send_id, drop_reason);
-        } else if (dup_delay >= 0) {
-          tr->fault(now_, "dup", from, to, send_id, "");
-        }
-      }
-    }
-    if (drop_reason != nullptr) return;
-    if (dup_delay >= 0) {
-      // The copy shares the original's send id: one send event, two
-      // delivers with the same cause.
-      Message copy = msg;
-      schedule_traced_delivery(now_ + d, from, to, std::move(msg), send_id);
-      schedule_traced_delivery(now_ + dup_delay, from, to, std::move(copy), send_id);
-      return;
-    }
-    schedule_traced_delivery(now_ + d, from, to, std::move(msg), send_id);
     return;
   }
-  if (drop_reason != nullptr) return;
-  if (dup_delay >= 0) {
+  // Disabled hot path: one atomic load inside the pipeline, then the lean
+  // closure — held to < 2% overhead by bench_obs_overhead.
+  Simulation* sim = this;
+  if (egress.copies == 2) {
     Message copy = msg;
-    schedule_phase(now_ + d, Phase::kMessage, [sim, from, to, msg = std::move(msg)] {
+    schedule_phase(now_ + egress.delay[0], Phase::kMessage,
+                   [sim, from, to, msg = std::move(msg)] {
       sim->parties_[to]->on_message(*sim->envs_[to], from, msg);
     });
-    schedule_phase(now_ + dup_delay, Phase::kMessage,
+    schedule_phase(now_ + egress.delay[1], Phase::kMessage,
                    [sim, from, to, msg = std::move(copy)] {
       sim->parties_[to]->on_message(*sim->envs_[to], from, msg);
     });
     return;
   }
-  // Disabled hot path: one atomic load above, then the lean closure — held
-  // to < 2% overhead by bench_obs_overhead.
-  schedule_phase(now_ + d, Phase::kMessage, [sim, from, to, msg = std::move(msg)] {
+  schedule_phase(now_ + egress.delay[0], Phase::kMessage,
+                 [sim, from, to, msg = std::move(msg)] {
     sim->parties_[to]->on_message(*sim->envs_[to], from, msg);
   });
 }
@@ -247,6 +183,7 @@ SimStats Simulation::run() {
   }
 
   stats_.end_time = now_;
+  pipeline_.export_stats(stats_);
   if (obs::enabled()) {
     obs::registry().counter("sim.events").inc(stats_.events);
   }

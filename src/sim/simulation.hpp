@@ -14,6 +14,8 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "net/egress.hpp"
+#include "net/wire_stats.hpp"
 #include "sim/delay.hpp"
 #include "sim/env.hpp"
 #include "sim/message.hpp"
@@ -32,25 +34,16 @@ struct SimConfig {
   std::uint64_t max_events = 50'000'000;
 };
 
-struct SimStats {
-  /// Wire traffic only: self-deliveries are local computation and are
-  /// excluded from every message/byte count below.
-  std::uint64_t messages = 0;
-  std::uint64_t bytes = 0;
+/// Wire accounting (messages/bytes/per-party/per-round) lives in the shared
+/// net::WireStats base — both backends fill it through net::EgressPipeline.
+/// The fields below are simulator-specific diagnostics.
+struct SimStats : net::WireStats {
   std::uint64_t events = 0;
   Time end_time = 0;
   bool hit_limit = false;  ///< stopped by max_time/max_events, not quiescence
   /// Stopped early because a strict-mode invariant monitor requested it
   /// (obs/monitor.hpp); the queue was not drained.
   bool monitor_aborted = false;
-  /// Messages sent per party (index = PartyId): per-party bandwidth lens,
-  /// e.g. to spot a spamming Byzantine slot or asymmetric load.
-  std::vector<std::uint64_t> sent_per_party;
-  /// Per-round communication accounting, index = floor(send time / delta).
-  /// Collected only while observability is enabled (obs::enabled()); empty
-  /// otherwise so the disabled hot path stays a single branch.
-  std::vector<std::uint64_t> messages_per_round;
-  std::vector<std::uint64_t> bytes_per_round;
 };
 
 class Simulation {
@@ -69,6 +62,8 @@ class Simulation {
 
   [[nodiscard]] Time now() const noexcept { return now_; }
   [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+  /// Wire totals are folded in from the egress pipeline when run() returns;
+  /// mid-run the WireStats base is all zeros.
   [[nodiscard]] const SimStats& stats() const noexcept { return stats_; }
 
   /// Test hook: schedule an arbitrary callback at absolute time `at` (runs
@@ -92,17 +87,16 @@ class Simulation {
   enum class Phase : std::uint8_t { kMessage = 0, kTimer = 1 };
 
   void schedule_phase(Time at, Phase phase, std::function<void()> fn);
+
+  /// Runs the posted message through the shared net::EgressPipeline
+  /// (accounting, fault injection, ids, obs emission) and schedules the
+  /// surviving copies. The simulator itself contains no egress logic.
   void deliver(PartyId from, PartyId to, Message msg);
 
-  /// Observability slow path: counters, per-round accounting, the trace
-  /// send event (with `send_id` as its causal id) and the monitor hook.
-  /// Called from deliver() only when obs::enabled().
-  void record_send(PartyId from, PartyId to, const Message& msg, Duration delay,
-                   std::uint64_t send_id);
-
-  /// Queues one traced delivery (deliver event + monitor dispatch bracket).
-  /// Used by the obs-enabled path; the fault injector may queue the same
-  /// send twice (duplication), both copies carrying the same `send_id`.
+  /// Queues one traced delivery (net::DeliveryGate: deliver event + monitor
+  /// dispatch bracket). Used by the obs-enabled path; the fault injector may
+  /// queue the same send twice (duplication), both copies carrying the same
+  /// `send_id`.
   void schedule_traced_delivery(Time at, PartyId from, PartyId to, Message msg,
                                 std::uint64_t send_id);
 
@@ -126,9 +120,10 @@ class Simulation {
   };
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
   std::uint64_t next_seq_ = 0;
-  /// Trace send-event ids (1-based; incremented only while obs is enabled,
-  /// so the disabled path is untouched and same-seed traces stay identical).
-  std::uint64_t send_id_ = 0;
+  /// The shared send-side path (plain counters — single-threaded). Lazy id
+  /// mode: trace send ids are allocated only while obs is enabled, so the
+  /// disabled path is untouched and same-seed traces stay identical.
+  net::EgressPipeline pipeline_;
 
   std::vector<std::unique_ptr<IParty>> parties_;
   std::vector<std::unique_ptr<PartyEnv>> envs_;

@@ -1,0 +1,66 @@
+#include "transport/thread_backend.hpp"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/backend.hpp"
+#include "transport/thread_net.hpp"
+
+namespace hydra::transport {
+namespace {
+
+/// The parties stay owned by the caller (ThreadNetwork borrows them and
+/// joins every worker before run() returns), satisfying the net::Backend
+/// ownership contract trivially.
+class ThreadBackend final : public net::Backend {
+ public:
+  ThreadBackend(const net::BackendConfig& config,
+                std::unique_ptr<sim::DelayModel> delay_model)
+      : us_per_tick_(config.us_per_tick),
+        net_(ThreadNetConfig{.n = config.n,
+                             .delta = config.delta,
+                             .us_per_tick = config.us_per_tick,
+                             .seed = config.seed,
+                             .timeout_ms = config.timeout_ms},
+             std::move(delay_model)) {}
+
+  void set_fault_injector(faults::FaultInjector* injector) override {
+    net_.set_fault_injector(injector);
+  }
+
+  net::BackendStats run(std::vector<std::unique_ptr<sim::IParty>>& parties,
+                        const FinishedFn& finished) override {
+    const ThreadNetStats stats = net_.run(parties, finished);
+    net::BackendStats out;
+    out.wire = stats;  // slice down to the shared WireStats base
+    // Virtual end time derived from the wall clock via the tick mapping —
+    // coarse (the watchdog polls every ~1 ms) but in the same unit as the
+    // simulator's, so rounds = end_time / Delta stays comparable.
+    out.end_time = static_cast<Time>(static_cast<double>(stats.wall_ms) *
+                                     1000.0 / us_per_tick_);
+    out.monitor_aborted = stats.monitor_aborted;
+    out.timed_out = stats.timed_out;
+    out.wall_ms = stats.wall_ms;
+    out.progress = stats.progress;
+    out.timeout_detail = stats.timeout_detail;
+    return out;
+  }
+
+ private:
+  double us_per_tick_;
+  ThreadNetwork net_;
+};
+
+}  // namespace
+
+void register_thread_backend() {
+  net::register_backend(
+      "threads",
+      [](const net::BackendConfig& config,
+         std::unique_ptr<sim::DelayModel> delay_model) -> std::unique_ptr<net::Backend> {
+        return std::make_unique<ThreadBackend>(config, std::move(delay_model));
+      });
+}
+
+}  // namespace hydra::transport

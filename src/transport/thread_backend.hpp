@@ -1,0 +1,12 @@
+// net::Backend adapter for the real-thread in-process transport.
+#pragma once
+
+namespace hydra::transport {
+
+/// Registers the thread transport as net backend "threads". Idempotent
+/// (re-registering replaces the factory); called from
+/// harness::ensure_backends_registered() — explicit rather than a static
+/// initializer, which the linker would drop from a static library.
+void register_thread_backend();
+
+}  // namespace hydra::transport

@@ -11,10 +11,10 @@
 #include "common/assert.hpp"
 #include "common/log.hpp"
 #include "faults/faults.hpp"
+#include "net/delivery.hpp"
 #include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/monitor.hpp"
-#include "obs/trace.hpp"
 
 namespace hydra::transport {
 
@@ -61,7 +61,16 @@ class ThreadNetwork::ThreadEnv final : public sim::Env {
 
 ThreadNetwork::ThreadNetwork(ThreadNetConfig config,
                              std::unique_ptr<sim::DelayModel> delay_model)
-    : config_(config), delay_model_(std::move(delay_model)), delay_rng_(config.seed) {
+    : config_(config),
+      delay_model_(std::move(delay_model)),
+      delay_rng_(config.seed),
+      pipeline_(net::EgressConfig{.n = config.n,
+                                  .delta = config.delta,
+                                  .per_round = false,
+                                  .eager_ids = true,
+                                  .messages_counter = "net.messages",
+                                  .bytes_counter = "net.bytes",
+                                  .delay_histogram = "net.delay_delta"}) {
   HYDRA_ASSERT(delay_model_ != nullptr);
   HYDRA_ASSERT(config_.n >= 1);
   HYDRA_ASSERT(config_.us_per_tick > 0.0);
@@ -90,12 +99,6 @@ Clock::time_point ThreadNetwork::tick_deadline(Time at) const {
 void ThreadNetwork::post(PartyId from, PartyId to, sim::Message msg) {
   HYDRA_ASSERT(to < config_.n);
   const bool self = from == to;
-  // Self-posts are local computation, not network traffic — excluded from
-  // message/byte accounting, matching the simulator.
-  if (!self) {
-    messages_.fetch_add(1, std::memory_order_relaxed);
-    bytes_.fetch_add(msg.wire_size(), std::memory_order_relaxed);
-  }
   // One timestamp for the whole post: computing the delay against one sample
   // and stamping `due` with a later one would stretch delivery times by the
   // (lock-contended) gap between the two reads.
@@ -105,56 +108,25 @@ void ThreadNetwork::post(PartyId from, PartyId to, sim::Message msg) {
     const std::lock_guard lock(delay_mutex_);
     base = delay_model_->delay(from, to, now, msg, delay_rng_);
   }
-  Duration d = base;
-  Duration dup_delay = -1;  // >= 0 queues a duplicate copy at that delay
-  const char* drop_reason = nullptr;
-  if (injector_ != nullptr) {
-    const auto outcome = injector_->on_message(from, to, now, base);
-    d = outcome.delays[0];
-    if (outcome.dropped) {
-      drop_reason = outcome.reason;
-    } else if (outcome.duplicated) {
-      dup_delay = outcome.delays[1];
-    }
-  }
-  // The mailbox sequence number doubles as the trace send-event id (+1 so 0
-  // keeps meaning "no cause").
-  const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
-  if (obs::enabled()) {
-    if (!self) {
-      auto& registry = obs::registry();
-      registry.counter("net.messages").inc();
-      registry.counter("net.bytes").inc(msg.wire_size());
-    }
-    // Wall-clock-driven tick stamps: thread-transport traces are NOT
-    // deterministic across runs (unlike simulator traces).
-    if (auto* tr = obs::trace()) {
-      tr->message_send(now, from, to, msg.key.tag, msg.key.a, msg.key.b,
-                       msg.kind, msg.wire_size(), seq + 1);
-      if (drop_reason != nullptr) {
-        tr->fault(now, "drop", from, to, seq + 1, drop_reason);
-      } else if (dup_delay >= 0) {
-        tr->fault(now, "dup", from, to, seq + 1, "");
-      }
-    }
-    if (!self) {
-      if (auto* mon = obs::monitors()) {
-        mon->on_send(now, from, msg.wire_size());
-      }
-    }
-  }
-  if (drop_reason != nullptr) return;
-  if (dup_delay >= 0) {
-    // The duplicate gets a fresh queue position but keeps the original's
+  // All egress policy — self-post accounting exemption, fault outcomes,
+  // sequence/send-id allocation, trace + monitor emission — lives in the
+  // shared net::EgressPipeline. (Wall-clock-driven tick stamps: thread
+  // transport traces are NOT deterministic across runs, unlike the
+  // simulator's.) This loop only schedules the surviving copies.
+  const auto egress = pipeline_.on_send(from, to, msg, now, base, injector_);
+  if (egress.copies == 0) return;  // crashed endpoint dropped it
+  if (egress.copies == 2) {
+    // The duplicate gets its own queue position but keeps the original's
     // send id as its trace cause — one send, two delivers.
     sim::Message copy = msg;
-    mailboxes_[to]->push(Mailbox::Item{now + d, seq, seq + 1, from, std::move(msg)});
-    const std::uint64_t dup_seq = seq_.fetch_add(1, std::memory_order_relaxed);
-    mailboxes_[to]->push(
-        Mailbox::Item{now + dup_delay, dup_seq, seq + 1, from, std::move(copy)});
+    mailboxes_[to]->push(Mailbox::Item{now + egress.delay[0], egress.seq[0],
+                                       egress.send_id, from, std::move(msg)});
+    mailboxes_[to]->push(Mailbox::Item{now + egress.delay[1], egress.seq[1],
+                                       egress.send_id, from, std::move(copy)});
     return;
   }
-  mailboxes_[to]->push(Mailbox::Item{now + d, seq, seq + 1, from, std::move(msg)});
+  mailboxes_[to]->push(Mailbox::Item{now + egress.delay[0], egress.seq[0],
+                                     egress.send_id, from, std::move(msg)});
 }
 
 ThreadNetStats ThreadNetwork::run(
@@ -197,13 +169,18 @@ ThreadNetStats ThreadNetwork::run(
       bool progressed = false;
       if (item) {
         if (obs::enabled()) {
-          if (auto* tr = obs::trace()) {
-            const auto& m = item->msg;
-            tr->message_deliver(now_ticks(), item->from, id, m.key.tag, m.key.a,
-                                m.key.b, m.kind, m.wire_size(), item->cause);
-          }
+          // net::DeliveryGate emits the deliver trace event and brackets the
+          // handler with begin_dispatch/end_dispatch, so invariant
+          // violations raised inside it carry this message's send id as
+          // their cause — same semantics as the simulator (the cause is
+          // per-thread in MonitorHost, so concurrent workers don't clash).
+          net::DeliveryGate::dispatch(now_ticks(), item->from, id, item->msg,
+                                      item->cause, [&] {
+            party.on_message(env, item->from, item->msg);
+          });
+        } else {
+          party.on_message(env, item->from, item->msg);
         }
-        party.on_message(env, item->from, item->msg);
         progressed = true;
       }
       // Fire all due timers.
@@ -228,24 +205,41 @@ ThreadNetStats ThreadNetwork::run(
   threads.reserve(config_.n);
   for (PartyId id = 0; id < config_.n; ++id) threads.emplace_back(worker, id);
 
-  // A party the fault plan crash-stops forever can never satisfy `finished`;
-  // once its crash tick passed, waiting longer is pointless — treat it as
-  // satisfied rather than reporting a bogus timeout.
-  auto satisfied = [&](PartyId id) {
-    if (done[id].load(std::memory_order_acquire)) return true;
-    if (injector_ != nullptr) {
-      const auto crash = injector_->plan().crash_stop_at(id);
-      if (crash.has_value() && now_ticks() >= *crash) return true;
+  // A party whose crash window has opened is excused from shutdown: a
+  // crash-stop can never satisfy `finished`, and a crash-recover party may
+  // have lost traffic nobody retransmits — either way the oracle counts it
+  // as faulty and judges the run on the others, so waiting for it buys
+  // nothing but the full wall-clock timeout.
+  auto crash_excused = [&](PartyId id) {
+    if (injector_ == nullptr) return false;
+    for (const auto& c : injector_->plan().crashes) {
+      if (c.party == id && now_ticks() >= c.at) return true;
     }
     return false;
   };
+  auto satisfied = [&](PartyId id) {
+    return done[id].load(std::memory_order_acquire) || crash_excused(id);
+  };
+
+  // Hoisted like the simulator's drain loop: the launching thread's context
+  // (and with it the monitor host) cannot change while run() executes.
+  obs::MonitorHost* mon = obs::enabled() ? obs::monitors() : nullptr;
 
   const auto deadline = Clock::now() + std::chrono::milliseconds(config_.timeout_ms);
   bool timed_out = false;
+  bool monitor_aborted = false;
   for (;;) {
     std::size_t ok = 0;
     for (PartyId id = 0; id < config_.n; ++id) ok += satisfied(id) ? 1 : 0;
     if (ok == config_.n) break;
+    if (mon != nullptr && mon->abort_requested()) {
+      // Strict mode: a monitor asked to stop the run. The watchdog is the
+      // only loop every run passes through, so it owns the abort (workers
+      // keep draining until `stop` flips — an abort is a shutdown, not a
+      // crash).
+      monitor_aborted = true;
+      break;
+    }
     if (Clock::now() >= deadline) {
       timed_out = true;
       break;
@@ -258,9 +252,9 @@ ThreadNetStats ThreadNetwork::run(
   for (auto& thread : threads) thread.join();
 
   ThreadNetStats stats;
-  stats.messages = messages_.load();
-  stats.bytes = bytes_.load();
+  pipeline_.export_stats(stats);  // after join: relaxed counters are settled
   stats.timed_out = timed_out;
+  stats.monitor_aborted = monitor_aborted;
   stats.wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
                                                                         epoch_)
                       .count();
@@ -278,7 +272,7 @@ ThreadNetStats ThreadNetwork::run(
     const char* sep = "";
     for (PartyId id = 0; id < config_.n; ++id) {
       const auto& p = stats.progress[id];
-      if (p.finished || p.crash_stopped) continue;
+      if (p.finished || crash_excused(id)) continue;
       detail << sep << "party " << id << ": unfinished after " << p.events
              << " events, last progress at tick " << p.last_progress;
       sep = "; ";

@@ -24,6 +24,8 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "net/egress.hpp"
+#include "net/wire_stats.hpp"
 #include "sim/delay.hpp"
 #include "sim/env.hpp"
 #include "sim/message.hpp"
@@ -44,20 +46,21 @@ struct ThreadNetConfig {
 };
 
 /// Per-party progress snapshot, filled in by the watchdog after the run.
-struct PartyProgress {
-  bool finished = false;       ///< `finished` predicate held at shutdown
-  bool crash_stopped = false;  ///< a fault-plan crash-stop silenced the party
-  std::uint64_t events = 0;    ///< messages + timers the party handled
-  Time last_progress = 0;      ///< tick of the party's last handled event
-};
+/// The definition lives in net/wire_stats.hpp so backend-neutral code
+/// (harness, sweep summaries, hydra report) can consume it.
+using PartyProgress = net::PartyProgress;
 
-struct ThreadNetStats {
-  /// Wire traffic only: self-posts are local computation and excluded,
-  /// matching the simulator's accounting.
-  std::uint64_t messages = 0;
-  std::uint64_t bytes = 0;
+/// Wire accounting (messages/bytes/per-party) lives in the shared
+/// net::WireStats base, filled through the same net::EgressPipeline the
+/// simulator uses (self-posts excluded, identical semantics). Per-round
+/// vectors stay empty: wall-clock round boundaries are not comparable
+/// across nondeterministic schedules.
+struct ThreadNetStats : net::WireStats {
   bool timed_out = false;
   std::int64_t wall_ms = 0;
+  /// Stopped early because a strict-mode invariant monitor requested it
+  /// (obs/monitor.hpp); polled by the completion watchdog.
+  bool monitor_aborted = false;
   /// One entry per party (index = PartyId).
   std::vector<PartyProgress> progress;
   /// Empty unless timed_out: names each stalled party with its event count
@@ -105,12 +108,13 @@ class ThreadNetwork {
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::chrono::steady_clock::time_point epoch_;
 
-  std::atomic<std::uint64_t> messages_{0};
-  std::atomic<std::uint64_t> bytes_{0};
-  /// Mailbox tie-break sequence. Per-network (NOT function-static in post):
-  /// a shared counter would leak tie-break ordering between concurrently
-  /// running networks and break run isolation.
-  std::atomic<std::uint64_t> seq_{0};
+  /// The shared send-side path (relaxed atomic counters — post() runs
+  /// concurrently on every sender thread). Eager id mode: every post
+  /// allocates a mailbox tie-break sequence number, which doubles as the
+  /// trace send id (+1 so 0 keeps meaning "no cause"). Per-network, NOT
+  /// function-static: a shared counter would leak tie-break ordering
+  /// between concurrently running networks and break run isolation.
+  net::ConcurrentEgressPipeline pipeline_;
 
   [[nodiscard]] Time now_ticks() const;
   [[nodiscard]] std::chrono::steady_clock::time_point tick_deadline(Time at) const;

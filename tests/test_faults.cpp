@@ -83,6 +83,10 @@ TEST(FaultPlanParse, RejectsMalformedSpecs) {
       "partition(group=0.1,from=5,until=5)",  // empty window
       "explode(p=1)",                         // unknown clause
       "dup(p)",                               // not key=value
+      "dup(p=0.2,from=-1)",                   // negative link endpoint
+      "dup(p=0.2,to=-3)",
+      "reorder(p=0.5,from=2,to=2)",           // self-link target
+      "dup(p=0.2,from=1,to=1)",
   };
   for (const auto& spec : bad) {
     std::string error;
@@ -104,6 +108,26 @@ TEST(FaultPlanParse, PlanQueries) {
   EXPECT_EQ(*plan->crash_stop_at(2), 500);
   EXPECT_FALSE(plan->crash_stop_at(3).has_value());
   EXPECT_EQ(plan->max_party(), 7u);
+}
+
+TEST(FaultPlanParse, LinkTargetsRoundTripAndExtendMaxParty) {
+  const std::string spec = "dup(p=0.25,skew=100,from=6);reorder(p=0.5,from=1,to=4)";
+  const auto plan = faults::parse_fault_plan(spec);
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_TRUE(plan->dup.has_value());
+  ASSERT_TRUE(plan->dup->from.has_value());
+  EXPECT_EQ(*plan->dup->from, 6u);
+  EXPECT_FALSE(plan->dup->to.has_value());
+  ASSERT_TRUE(plan->reorder.has_value());
+  EXPECT_EQ(*plan->reorder->from, 1u);
+  EXPECT_EQ(*plan->reorder->to, 4u);
+  // Link targets participate in the < n validation.
+  EXPECT_EQ(plan->max_party(), 6u);
+  // Canonical rendering re-parses to the same plan.
+  EXPECT_EQ(faults::to_string(*plan), spec);
+  const auto again = faults::parse_fault_plan(faults::to_string(*plan));
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(faults::to_string(*again), spec);
 }
 
 // ----------------------------------------------------------------- injector
@@ -135,6 +159,34 @@ TEST(FaultInjector, SameSeedSameSchedule) {
                             oa.duplicated != oc.duplicated;
   }
   EXPECT_TRUE(any_difference_from_c);  // different seed, different schedule
+}
+
+TEST(FaultInjector, TargetedClausesTouchOnlyMatchingLinks) {
+  // dup(p=1,from=0) must duplicate every 0->* message and nothing else. The
+  // draw discipline gates the Rng draw itself on link eligibility, so the
+  // 0->* schedule is independent of how much other traffic interleaves.
+  auto sparse = make_injector("dup(p=1,skew=50,from=0)",
+                              {.seed = 9, .synchronous = false, .delta = 100});
+  auto dense = make_injector("dup(p=1,skew=50,from=0)",
+                             {.seed = 9, .synchronous = false, .delta = 100});
+  for (int i = 0; i < 50; ++i) {
+    const auto noise = dense.on_message(1, 2, i, 10);
+    EXPECT_FALSE(noise.duplicated) << i;  // 1->2 never matches from=0
+    const auto a = sparse.on_message(0, 3, i, 10);
+    const auto b = dense.on_message(0, 3, i, 10);
+    EXPECT_TRUE(a.duplicated) << i;
+    EXPECT_TRUE(b.duplicated) << i;
+    EXPECT_EQ(a.delays[1], b.delays[1]) << i;  // same eligible-order draws
+  }
+}
+
+TEST(FaultInjector, ToTargetRestrictsTheReceiverSide) {
+  auto injector = make_injector("reorder(p=1,skew=500,to=2)",
+                                {.seed = 5, .synchronous = false, .delta = 100});
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(injector.on_message(0, 1, i, 10).delays[0], 10) << i;
+    EXPECT_GT(injector.on_message(0, 2, i, 10).delays[0], 10) << i;
+  }
 }
 
 TEST(FaultInjector, HonestLinksAreNeverDropped) {

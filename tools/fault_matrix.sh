@@ -7,11 +7,19 @@
 # exit-code contract makes each cell self-checking). CI runs this as the
 # fault-matrix job; locally:
 #
-#   ./tools/fault_matrix.sh [path-to-hydra] [seeds]
+#   ./tools/fault_matrix.sh [path-to-hydra] [seeds] [backend] [filter]
+#
+# backend selects the execution backend (sim default; threads runs the same
+# cells on the wall-clock transport). filter is a substring match on
+# "protocol/network/adversary" so CI can run an affordable slice, e.g.:
+#
+#   ./tools/fault_matrix.sh ./build/tools/hydra 2 threads hybrid/sync-jitter
 set -u
 
 HYDRA="${1:-./build/tools/hydra}"
 SEEDS="${2:-2}"
+BACKEND="${3:-sim}"
+FILTER="${4:-}"
 
 if [[ ! -x "$HYDRA" ]]; then
   echo "error: hydra binary not found at $HYDRA (build first)" >&2
@@ -30,15 +38,19 @@ failed=0
 
 run_cell() {
   local protocol="$1" network="$2" adversary="$3" faults="$4"
+  if [[ -n "$FILTER" && "$protocol/$network/$adversary" != *"$FILTER"* ]]; then
+    return
+  fi
   local corrupt=0
   [[ "$adversary" != "none" ]] && corrupt=1
   cells=$((cells + 1))
   if ! "$HYDRA" sweep --protocol="$protocol" --network="$network" \
       --adversary="$adversary" --corrupt="$corrupt" \
       --n=5 --ts=1 --ta=1 --dim=2 --seeds="$SEEDS" \
+      --backend="$BACKEND" \
       --monitors=strict --faults="$faults" >/dev/null; then
     failed=$((failed + 1))
-    echo "FAIL: $protocol/$network/$adversary faults='$faults'" >&2
+    echo "FAIL: $protocol/$network/$adversary faults='$faults' backend=$BACKEND" >&2
   fi
 }
 
@@ -88,5 +100,9 @@ run_cell async-mh async-reorder none "$CRASH"
 run_cell sync-lockstep sync-jitter none "$CRASH"
 
 echo
-echo "fault matrix: $cells cells x $SEEDS seeds, $failed failing"
+echo "fault matrix: $cells cells x $SEEDS seeds (backend=$BACKEND), $failed failing"
+if [[ "$cells" -eq 0 ]]; then
+  echo "error: filter '$FILTER' matched no cells" >&2
+  exit 2
+fi
 [[ "$failed" -eq 0 ]]

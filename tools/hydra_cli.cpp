@@ -17,6 +17,12 @@
 //   --corrupt 1 --workload ball|simplex|clustered|collinear|gaussian
 //   --scale 10 --seed 1 --seeds 20 --aggregation midpoint|centroid
 //
+// Execution backend (src/net/; docs/ARCHITECTURE.md):
+//   --backend sim|threads sim (default) is the deterministic discrete-event
+//                         simulator; threads runs one OS thread per party
+//                         under wall-clock time through the same delivery
+//                         pipeline (verdicts judged identically)
+//
 // Fault injection (docs/ROBUSTNESS.md):
 //   --faults SPEC         semicolon-separated clauses, e.g.
 //                         "dup(p=0.2);reorder(p=0.5,skew=2000);
@@ -53,6 +59,7 @@
 // monitor recorded a violation, 1 otherwise — usable directly in scripts
 // and CI (sweeps with a non-empty failure list or any monitor violation
 // exit 1).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -90,7 +97,7 @@ struct Options {
                "usage: hydra <run|sweep|report|list> [--key value | --key=value ...]\n"
                "keys: n ts ta dim eps delta protocol network adversary corrupt\n"
                "      workload scale seed seeds aggregation jobs sweep-json\n"
-               "      trace-out metrics-json log-level monitors faults\n"
+               "      trace-out metrics-json log-level monitors faults backend\n"
                "report keys: trace metrics out format title\n"
                "run `hydra list` for accepted values.\n");
   std::exit(2);
@@ -106,9 +113,16 @@ void list_values() {
   std::printf("aggregation: midpoint centroid\n");
   std::printf("log-level  : off error info debug trace\n");
   std::printf("monitors   : off record strict\n");
-  std::printf("faults     : dup(p=P[,skew=T]) reorder(p=P[,skew=T]) "
+  std::printf("faults     : dup(p=P[,skew=T][,from=I][,to=I]) "
+              "reorder(p=P[,skew=T][,from=I][,to=I]) "
               "crash(party=I,at=T[,until=T]) "
               "partition(group=I.J...,from=T,until=T), ';'-separated\n");
+  std::string backends;
+  for (const auto& name : backend_names()) {
+    if (!backends.empty()) backends += ' ';
+    backends += name;
+  }
+  std::printf("backend    : %s\n", backends.c_str());
   std::printf("format     : md html (hydra report)\n");
 }
 
@@ -199,6 +213,13 @@ Options parse(int argc, char** argv) {
     if (!mode) usage("unknown monitors mode (off|record|strict)");
     spec.monitors = *mode;
   }
+  if (const auto it = kv.find("backend"); it != kv.end()) {
+    const auto names = backend_names();
+    if (std::find(names.begin(), names.end(), it->second) == names.end()) {
+      usage("unknown backend (run `hydra list`)");
+    }
+    spec.backend = it->second;
+  }
   if (const auto it = kv.find("faults"); it != kv.end()) {
     std::string error;
     const auto plan = faults::parse_fault_plan(it->second, &error);
@@ -243,6 +264,17 @@ int cmd_run(const Options& opts) {
   table.row({"T estimates", fmt(result.min_estimate) + ".." + fmt(result.max_estimate)});
   table.row({"max msgs by one party", fmt(result.max_sent_by_party)});
   table.row({"safe-area fallbacks", fmt(result.safe_area_fallbacks)});
+  // Only non-default backends get extra rows: the default-sim table is part
+  // of the byte-identity contract for recorded runs.
+  if (opts.spec.backend != "sim") {
+    table.row({"backend", opts.spec.backend});
+    table.row({"wall clock (ms)", std::to_string(result.wall_ms)});
+    if (result.timed_out) {
+      table.row({"timed out", result.timeout_detail.empty()
+                                  ? "YES"
+                                  : "YES: " + result.timeout_detail});
+    }
+  }
   if (!opts.spec.faults.empty()) {
     table.row({"faults", opts.spec.faults});
     table.row({"fault drops", fmt(result.fault_drops)});
