@@ -10,11 +10,18 @@
 //
 // Part 2 (google-benchmark): microbenchmarks of the hot kernels — 2-D hull,
 // polygon intersection, safe areas across (m, t, D), simplex LP membership.
+//
+// `--json PATH` switches to CI mode: the shared per-kernel ns/point
+// measurement (harness::measure_geometry_kernels — the same workload `hydra
+// perf` runs), written as hydra-bench-v1 JSON and gated against
+// bench/baselines/BENCH_geometry.json by tools/perf_gate. The ablation and
+// the google-benchmark suite are skipped in that mode.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "common/rng.hpp"
 #include "geometry/convex.hpp"
 #include "geometry/polygon.hpp"
@@ -184,6 +191,17 @@ BENCHMARK(BM_PointInHullLP)->Arg(2)->Arg(4)->Arg(8);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = hydra::bench::consume_json_path(argc, argv);
+  if (!json_path.empty()) {
+    const auto metrics = harness::measure_geometry_kernels();
+    harness::Table table({"kernel", "unit", "value", "repetitions"});
+    for (const auto& m : metrics) {
+      table.row({m.name, m.unit, harness::fmt(m.value),
+                 harness::fmt(m.repetitions)});
+    }
+    table.print();
+    return harness::write_bench_json(json_path, "geometry", metrics) ? 0 : 1;
+  }
   direction_ablation();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,38 @@
+// Unified bench JSON emission for the bench/ binaries.
+//
+// Every bench that measures time accepts `--json PATH` (or `--json=PATH`)
+// and writes its measurements in the shared hydra-bench-v1 schema
+// (src/harness/perf.hpp), so one parser, one delta renderer (`hydra perf
+// --baseline`) and one CI gate (tools/perf_gate) cover all of them.
+// consume_json_path() strips the flag from argv so binaries that hand the
+// remaining arguments to google-benchmark's Initialize never confuse it.
+#pragma once
+
+#include <cstring>
+#include <string>
+
+#include "harness/perf.hpp"
+
+namespace hydra::bench {
+
+/// Removes `--json PATH` / `--json=PATH` from argv and returns the path
+/// ("" when absent). argc is updated in place.
+inline std::string consume_json_path(int& argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      path = argv[++i];
+      continue;
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      path = argv[i] + 7;
+      continue;
+    }
+    argv[w++] = argv[i];
+  }
+  argc = w;
+  return path;
+}
+
+}  // namespace hydra::bench

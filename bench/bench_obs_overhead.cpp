@@ -16,8 +16,13 @@
 // A third loop runs with obs enabled and a record-mode invariant-monitor
 // host installed, so the *monitored* overhead is reported alongside — the
 // pass/fail gate stays on the disabled path only (monitors are opt-in).
-// `--json PATH` writes the measurements as a machine-readable artifact for
-// CI trend tracking.
+// `--json PATH` writes the measurements in the shared hydra-bench-v1 schema
+// (bench_json.hpp) as a machine-readable artifact for CI trend tracking.
+//
+// The profiler (obs/prof.hpp) is compiled into the instrumented loop but no
+// Profiler is installed, so this bench also gates the profiler's DISABLED
+// cost: every HYDRA_PROF_SCOPE on the measured path must stay within the
+// same 2% budget (one thread-local load + branch each).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -28,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "common/assert.hpp"
 #include "common/rng.hpp"
 #include "obs/context.hpp"
@@ -138,14 +144,10 @@ double run_monitored() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    } else {
-      std::fprintf(stderr, "usage: bench_obs_overhead [--json PATH]\n");
-      return 2;
-    }
+  const std::string json_path = hydra::bench::consume_json_path(argc, argv);
+  if (argc != 1) {
+    std::fprintf(stderr, "usage: bench_obs_overhead [--json PATH]\n");
+    return 2;
   }
 
   obs::set_enabled(false);  // the pass/fail claim is about the DISABLED path
@@ -230,20 +232,34 @@ int main(int argc, char** argv) {
   const bool pass = overhead < kBudget;
 
   if (!json_path.empty()) {
-    std::FILE* f = std::fopen(json_path.c_str(), "wb");
-    if (f == nullptr) {
-      std::fprintf(stderr, "bench_obs_overhead: cannot write %s\n", json_path.c_str());
+    // hydra-bench-v1, like every other bench. The gate statistic is the
+    // ratio metric; the ms rows give it scale. Units are lower-is-better by
+    // schema convention, which holds for all of these.
+    const std::vector<hydra::harness::BenchMetric> metrics{
+        {.name = "obs.disabled_overhead",
+         .unit = "ratio",
+         .value = overhead,
+         .repetitions = kPairs},
+        {.name = "obs.monitor_overhead",
+         .unit = "ratio",
+         .value = mon_overhead,
+         .repetitions = kTrials},
+        {.name = "obs.baseline",
+         .unit = "ms/trial",
+         .value = best_base * 1e3,
+         .repetitions = kPairs},
+        {.name = "obs.disabled",
+         .unit = "ms/trial",
+         .value = best_inst * 1e3,
+         .repetitions = kPairs},
+        {.name = "obs.monitored",
+         .unit = "ms/trial",
+         .value = best_mon * 1e3,
+         .repetitions = kTrials},
+    };
+    if (!hydra::harness::write_bench_json(json_path, "obs_overhead", metrics)) {
       return 2;
     }
-    std::fprintf(f,
-                 "{\"events\":%llu,\"baseline_ms\":%.3f,\"disabled_ms\":%.3f,"
-                 "\"monitored_ms\":%.3f,\"disabled_overhead\":%.6f,"
-                 "\"monitor_overhead\":%.6f,\"budget_disabled\":0.02,"
-                 "\"pass\":%s}\n",
-                 static_cast<unsigned long long>(g_sink), best_base * 1e3,
-                 best_inst * 1e3, best_mon * 1e3, overhead, mon_overhead,
-                 pass ? "true" : "false");
-    std::fclose(f);
   }
 
   if (!pass) {

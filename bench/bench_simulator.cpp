@@ -4,11 +4,21 @@
 // how many simulated events per second the discrete-event core sustains,
 // what one reliable broadcast / one ΠoBC round / one full ΠAA run cost, and
 // how that scales with n. Useful when sizing larger sweeps.
+//
+// `--json PATH` switches to CI mode: two fixed workloads (raw event-loop
+// ns/event, one full ΠAA run in ms) measured with harness::time_rate and
+// written as hydra-bench-v1 JSON, gated against
+// bench/baselines/BENCH_simulator.json by tools/perf_gate. The
+// google-benchmark suite is skipped in that mode.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <memory>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "harness/runner.hpp"
+#include "harness/table.hpp"
 #include "sim/delay.hpp"
 #include "sim/env.hpp"
 #include "sim/simulation.hpp"
@@ -128,6 +138,69 @@ void BM_FullAaRunAsync(benchmark::State& state) {
 }
 BENCHMARK(BM_FullAaRunAsync)->Arg(5)->Arg(8);
 
+/// The CI measurement: the two numbers that size larger sweeps — what one
+/// simulated event costs on the lean (obs-disabled) loop, and what one full
+/// ΠAA run costs end to end.
+std::vector<harness::BenchMetric> measure_simulator() {
+  std::vector<harness::BenchMetric> out;
+
+  {  // Raw event-loop throughput, as ns/event (16 parties, message flood).
+    std::uint64_t events_per_run = 0;
+    const auto run_once = [&events_per_run] {
+      sim::Simulation sim({.n = 16, .delta = 10, .seed = 1},
+                          std::make_unique<sim::FixedDelay>(10));
+      for (std::size_t p = 0; p < 16; ++p) {
+        sim.add_party(std::make_unique<PingParty>(200));
+      }
+      events_per_run = sim.run().events;
+    };
+    run_once();  // pin the (deterministic) event count before timing
+    const auto rate = harness::time_rate(run_once);
+    out.push_back({.name = "sim.event_loop",
+                   .unit = "ns/event",
+                   .value = rate.seconds_per_rep * 1e9 /
+                            static_cast<double>(events_per_run),
+                   .repetitions = rate.repetitions});
+  }
+  {  // One full hybrid ΠAA run (n=6, D=2, silent adversary), in ms.
+    harness::RunSpec spec;
+    spec.params.n = 6;
+    spec.params.ts = 1;
+    spec.params.ta = 1;
+    spec.params.dim = 2;
+    spec.params.eps = 1e-2;
+    spec.params.delta = 1000;
+    spec.network = harness::Network::kSyncJitter;
+    spec.adversary = harness::Adversary::kSilent;
+    spec.corruptions = 1;
+    spec.seed = 7;
+    const auto rate = harness::time_rate([&spec] {
+      const auto result = harness::execute(spec);
+      if (!result.verdict.d_aa()) std::abort();
+    });
+    out.push_back({.name = "sim.full_aa_run",
+                   .unit = "ms/run",
+                   .value = rate.seconds_per_rep * 1e3,
+                   .repetitions = rate.repetitions});
+  }
+  return out;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path = hydra::bench::consume_json_path(argc, argv);
+  if (!json_path.empty()) {
+    const auto metrics = measure_simulator();
+    harness::Table table({"metric", "unit", "value", "repetitions"});
+    for (const auto& m : metrics) {
+      table.row({m.name, m.unit, harness::fmt(m.value),
+                 harness::fmt(m.repetitions)});
+    }
+    table.print();
+    return harness::write_bench_json(json_path, "simulator", metrics) ? 0 : 1;
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

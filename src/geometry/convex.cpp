@@ -5,6 +5,7 @@
 #include <cstddef>
 
 #include "common/assert.hpp"
+#include "obs/prof.hpp"
 #include "geometry/lp.hpp"
 
 namespace hydra::geo {
@@ -139,6 +140,7 @@ Vec recover_point(const HullSystem& sys, std::span<const std::vector<Vec>> hulls
 }  // namespace
 
 bool in_convex_hull(std::span<const Vec> points, const Vec& q, double tol) {
+  HYDRA_PROF_SCOPE("geo.lp.membership");
   HYDRA_ASSERT(!points.empty());
   const std::size_t dim = q.dim();
   const std::size_t m = points.size();
@@ -170,6 +172,7 @@ bool in_convex_hull(std::span<const Vec> points, const Vec& q, double tol) {
 
 std::optional<Vec> intersection_point(std::span<const std::vector<Vec>> hulls,
                                       double tol) {
+  HYDRA_PROF_SCOPE("geo.lp.witness");
   const auto norm = normalize_of(hulls);
   const auto nhulls = apply_normalization(hulls, norm);
   const auto sys = build_system(nhulls);
@@ -181,6 +184,7 @@ std::optional<Vec> intersection_point(std::span<const std::vector<Vec>> hulls,
 
 std::optional<Vec> support_point(std::span<const std::vector<Vec>> hulls,
                                  const Vec& direction, double tol) {
+  HYDRA_PROF_SCOPE("geo.lp.support");
   // A positive uniform scale + translation preserves which point is extreme
   // in `direction`, so the normalized argmax maps back exactly.
   const auto norm = normalize_of(hulls);

@@ -6,6 +6,7 @@
 #include <map>
 
 #include "common/assert.hpp"
+#include "obs/prof.hpp"
 
 namespace hydra::geo {
 namespace {
@@ -62,6 +63,7 @@ Face make_face(std::size_t a, std::size_t b, std::size_t c,
 
 std::optional<std::vector<Plane3>> hull3d_facets(std::span<const Vec> points,
                                                  double tol) {
+  HYDRA_PROF_SCOPE("geo.hull3d.facets");
   if (points.size() < 4) return std::nullopt;
   for ([[maybe_unused]] const auto& p : points) HYDRA_ASSERT(p.dim() == 3);
 
@@ -256,6 +258,7 @@ std::optional<std::vector<Plane3>> hull3d_facets(std::span<const Vec> points,
 std::optional<std::vector<Vec>> halfspace_intersection_vertices(
     std::span<const Plane3> planes, double scale, std::size_t max_planes,
     double tol) {
+  HYDRA_PROF_SCOPE("geo.hull3d.vertices");
   // Deduplicate near-identical planes (restriction hulls share most facets).
   std::vector<Plane3> unique;
   for (const auto& p : planes) {

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/assert.hpp"
+#include "obs/prof.hpp"
 
 namespace hydra::geo {
 namespace {
@@ -178,6 +179,7 @@ class Tableau {
 
 LpResult solve_lp(const Matrix& a, const std::vector<double>& b,
                   const std::vector<double>& c, const LpOptions& opts) {
+  HYDRA_PROF_SCOPE("geo.lp.simplex");
   HYDRA_ASSERT(a.rows() == b.size());
   HYDRA_ASSERT(a.cols() == c.size());
 

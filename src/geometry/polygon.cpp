@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "obs/prof.hpp"
 
 namespace hydra::geo {
 namespace {
@@ -72,6 +73,7 @@ std::vector<Vec> dedupe_ring(std::vector<Vec> ring, double pos_tol) {
 }  // namespace
 
 ConvexPolygon2D ConvexPolygon2D::hull_of(std::span<const Vec> points, double tol) {
+  HYDRA_PROF_SCOPE("geo.hull2d");
   std::vector<Vec> pts(points.begin(), points.end());
   for ([[maybe_unused]] const auto& p : pts) HYDRA_ASSERT(p.dim() == 2);
   std::sort(pts.begin(), pts.end());
@@ -171,6 +173,7 @@ ConvexPolygon2D ConvexPolygon2D::clip(const HalfPlane& hp, double tol) const {
 
 ConvexPolygon2D ConvexPolygon2D::intersect(const ConvexPolygon2D& other,
                                            double tol) const {
+  HYDRA_PROF_SCOPE("geo.clip");
   if (empty() || other.empty()) return {};
   ConvexPolygon2D result = *this;
   for (const auto& hp : other.halfplanes()) {
@@ -182,6 +185,7 @@ ConvexPolygon2D ConvexPolygon2D::intersect(const ConvexPolygon2D& other,
 }
 
 bool ConvexPolygon2D::contains(const Vec& p, double tol) const {
+  HYDRA_PROF_SCOPE("geo.halfspace");
   HYDRA_ASSERT(p.dim() == 2);
   if (empty()) return false;
   if (vertices_.size() == 1) return distance(p, vertices_[0]) <= tol;

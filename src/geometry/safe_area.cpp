@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "obs/prof.hpp"
 #include "common/combinatorics.hpp"
 #include "common/rng.hpp"
 #include "geometry/convex.hpp"
@@ -68,6 +69,7 @@ std::vector<Vec> dedupe_points(std::vector<Vec> points, double tol) {
 }  // namespace
 
 std::optional<std::pair<Vec, Vec>> max_distance_pair(std::span<const Vec> points) {
+  HYDRA_PROF_SCOPE("geo.diameter");
   if (points.empty()) return std::nullopt;
   std::pair<Vec, Vec> best{points[0], points[0]};
   double best_d = -1.0;
@@ -88,6 +90,7 @@ std::optional<std::pair<Vec, Vec>> max_distance_pair(std::span<const Vec> points
 
 SafeArea SafeArea::compute(std::span<const Vec> values, std::size_t t,
                            const SafeAreaOptions& opts) {
+  HYDRA_PROF_SCOPE("geo.safe_area");
   SafeArea sa;
   sa.lp_tol_ = opts.tol;
   if (values.empty() || t >= values.size()) {

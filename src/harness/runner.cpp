@@ -20,6 +20,7 @@
 #include "net/backend.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 #include "protocols/aa.hpp"
 #include "protocols/aa_iteration.hpp"
@@ -288,6 +289,45 @@ void write_metrics_json(const RunSpec& spec, const RunResult& result,
   std::fclose(f);
 }
 
+/// The hydra-perf-v1 phase-profile export: a short spec echo (enough to know
+/// what was profiled) plus the profiler's per-phase aggregates. Written to
+/// its own side-channel file because the nanosecond fields are wall clock:
+/// the trace and metrics files stay byte-deterministic per (spec, seed),
+/// this one does not (its phase COUNTS do — test_prof.cpp).
+void write_perf_json(const RunSpec& spec, const obs::Profiler& profiler) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "hydra-perf-v1");
+  w.key("spec");
+  w.begin_object();
+  w.kv("protocol", to_string(spec.protocol));
+  w.kv("network", to_string(spec.network));
+  w.kv("adversary", to_string(spec.adversary));
+  w.kv("corruptions", std::uint64_t{spec.corruptions});
+  w.kv("n", std::uint64_t{spec.params.n});
+  w.kv("ts", std::uint64_t{spec.params.ts});
+  w.kv("ta", std::uint64_t{spec.params.ta});
+  w.kv("dim", std::uint64_t{spec.params.dim});
+  w.kv("seed", spec.seed);
+  w.kv("backend", spec.backend);
+  w.end_object();
+  // Splice the profiler's {"phases":{...}} document minus its outer braces.
+  const std::string phases = profiler.to_json();
+  HYDRA_ASSERT(phases.size() >= 2 && phases.front() == '{' && phases.back() == '}');
+  w.raw(std::string_view(phases).substr(1, phases.size() - 2));
+  w.end_object();
+
+  std::FILE* f = std::fopen(spec.perf_out.c_str(), "wb");
+  if (f == nullptr) {
+    HYDRA_LOG_ERROR("perf: cannot open %s for writing", spec.perf_out.c_str());
+    return;
+  }
+  const std::string& doc = w.str();
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
 /// RAII for the per-run observability session. Every run gets its OWN
 /// obs::Context — a private registry, the run's trace sink, and an isolated
 /// safe-area fallback counter — installed thread-locally for execute()'s
@@ -305,11 +345,17 @@ class ObsSession {
     if (monitor_config.has_value()) {
       monitors_ = std::make_unique<obs::MonitorHost>(std::move(*monitor_config));
     }
+    if (!spec.perf_out.empty()) {
+      profiler_ = std::make_unique<obs::Profiler>();
+    }
     ctx_.registry = &registry_;
     ctx_.trace_sink = sink_.get();
     ctx_.monitors = monitors_.get();
-    ctx_.enabled =
-        sink_ != nullptr || !spec.metrics_out.empty() || monitors_ != nullptr;
+    ctx_.profiler = profiler_.get();
+    // Profiling counts as observability: the full phase tree includes scopes
+    // (net.egress, net.deliver) that live on enabled-only paths.
+    ctx_.enabled = sink_ != nullptr || !spec.metrics_out.empty() ||
+                   monitors_ != nullptr || profiler_ != nullptr;
     // Log lines emitted while this thread's context holds a sink should land
     // in it (the hook resolves per-thread at emit time, so this is safe to
     // install from concurrent sessions).
@@ -326,6 +372,9 @@ class ObsSession {
   [[nodiscard]] obs::MonitorHost* monitors() const noexcept {
     return monitors_.get();
   }
+  [[nodiscard]] obs::Profiler* profiler() const noexcept {
+    return profiler_.get();
+  }
   [[nodiscard]] std::uint64_t safe_area_fallbacks() const noexcept {
     return ctx_.safe_area_fallbacks.load();
   }
@@ -334,6 +383,7 @@ class ObsSession {
   obs::Registry registry_;
   std::unique_ptr<obs::TraceSink> sink_;
   std::unique_ptr<obs::MonitorHost> monitors_;
+  std::unique_ptr<obs::Profiler> profiler_;
   obs::Context ctx_;
   std::optional<obs::ScopedContext> scoped_;
 };
@@ -716,6 +766,7 @@ RunResult execute(const RunSpec& spec) {
       }
     }
     if (!spec.metrics_out.empty()) write_metrics_json(spec, result, round_latency);
+    if (const auto* prof = obs_session.profiler()) write_perf_json(spec, *prof);
     HYDRA_LOG_INFO("run seed=%llu verdict=%s messages=%llu rounds=%.2f",
                    static_cast<unsigned long long>(spec.seed),
                    result.verdict.d_aa() ? "ok" : "FAIL",

@@ -97,6 +97,12 @@ struct RunSpec {
   // stands alone and concurrent runs (harness/sweep.hpp) never share state.
   std::string trace_out;    ///< JSONL structured trace ("" = no trace)
   std::string metrics_out;  ///< metrics JSON snapshot ("" = no export)
+  /// Phase-profile JSON ("hydra-perf-v1"; "" = no profiling). Installs an
+  /// obs::Profiler in the run's context; docs/OBSERVABILITY.md. Unlike the
+  /// trace and metrics files, the nanosecond fields are wall clock and NOT
+  /// deterministic — only the phase counts are, per (spec, seed) on the
+  /// simulator backend.
+  std::string perf_out;
 
   /// Online invariant monitors (obs/monitor.hpp; docs/OBSERVABILITY.md).
   /// kRecord checks the paper's per-round invariants live and records

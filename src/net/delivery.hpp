@@ -15,6 +15,7 @@
 
 #include "common/types.hpp"
 #include "obs/monitor.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 #include "sim/message.hpp"
 
@@ -29,6 +30,10 @@ struct DeliveryGate {
   static void dispatch(Time now, PartyId from, PartyId to,
                        const sim::Message& msg, std::uint64_t cause,
                        Handler&& handler) {
+    // Callers reach dispatch only on enabled paths, so the scope never
+    // burdens the lean branches the overhead bench gates. Handler phases
+    // (aa.*) nest under it.
+    HYDRA_PROF_SCOPE("net.deliver");
     if (auto* tr = obs::trace()) {
       tr->message_deliver(now, from, to, msg.key.tag, msg.key.a, msg.key.b,
                           msg.kind, msg.wire_size(), cause);

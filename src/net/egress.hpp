@@ -44,6 +44,7 @@
 #include "net/wire_stats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/monitor.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 #include "sim/message.hpp"
 
@@ -153,9 +154,11 @@ class BasicEgressPipeline {
       if (out.copies == 2) out.seq[1] = ids_.fetch_add_one();
     }
     // Disabled hot path ends here: one obs::enabled() load and nothing else.
+    // The whole enabled branch lives in a noinline helper so its body (the
+    // profiler scope in particular) never inflates on_send past the inliner
+    // threshold at call sites — bench_obs_overhead gates this path.
     if (obs::enabled()) {
-      if (!config_.eager_ids) out.send_id = ids_.fetch_add_one() + 1;
-      record(from, to, msg, now, out, injector != nullptr, drop_reason);
+      observe(from, to, msg, now, out, injector != nullptr, drop_reason);
     }
     return out;
   }
@@ -177,6 +180,20 @@ class BasicEgressPipeline {
   [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_.load(); }
 
  private:
+  /// Enabled-path tail of on_send: lazy send-id allocation plus record(),
+  /// bracketed by the net.egress profiler phase. noinline keeps on_send
+  /// small enough to inline at every call site whatever this body grows to;
+  /// cold moves the body out of the hot sections entirely.
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((noinline, cold))
+#endif
+  void observe(PartyId from, PartyId to, const sim::Message& msg, Time now,
+               Egress& out, bool injected, const char* drop_reason) {
+    HYDRA_PROF_SCOPE("net.egress");
+    if (!config_.eager_ids) out.send_id = ids_.fetch_add_one() + 1;
+    record(from, to, msg, now, out, injected, drop_reason);
+  }
+
   /// Observability slow path. Event order is part of the trace contract:
   /// counters and per-round accounting, the monitor hook, then the `send`
   /// trace event (self-deliveries stay visible in the trace — they carry

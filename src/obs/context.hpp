@@ -26,11 +26,13 @@ namespace hydra::obs {
 class Registry;
 class TraceSink;
 class MonitorHost;
+class Profiler;
 
 struct Context {
   Registry* registry = nullptr;     ///< per-run registry; nullptr = global
   TraceSink* trace_sink = nullptr;  ///< per-run trace sink; may be null
   MonitorHost* monitors = nullptr;  ///< per-run invariant monitors; may be null
+  Profiler* profiler = nullptr;     ///< per-run phase profiler; may be null
   bool enabled = false;             ///< per-run master switch
   /// Safe-area numerical fallbacks during this run. Counted even when
   /// `enabled` is false (it is a correctness diagnostic, not a metric).
@@ -57,6 +59,18 @@ inline std::atomic<bool>& enabled_ref() noexcept {
 inline std::atomic<std::uint64_t>& global_fallbacks_ref() noexcept {
   static std::atomic<std::uint64_t> count{0};
   return count;
+}
+
+/// The profiler active on this thread — a cache of
+/// `t_context ? t_context->profiler : <process-wide slot>`, maintained by
+/// ScopedContext and set_profiler() exactly like t_enabled, so
+/// obs::prof_enabled() is one thread-local load (obs/prof.hpp).
+inline thread_local Profiler* t_profiler = nullptr;
+
+/// Process-wide fallback profiler (no context installed).
+inline std::atomic<Profiler*>& global_profiler_ref() noexcept {
+  static std::atomic<Profiler*> prof{nullptr};
+  return prof;
 }
 }  // namespace detail
 
@@ -89,6 +103,26 @@ inline void set_enabled(bool on) noexcept {
   return ctx != nullptr ? ctx->monitors : nullptr;
 }
 
+/// True when a phase profiler is installed on this thread — a single
+/// thread-local load, same cost class as obs::enabled(). Instrumented
+/// scopes (HYDRA_PROF_SCOPE, obs/prof.hpp) check this themselves.
+[[nodiscard]] inline bool prof_enabled() noexcept {
+  return detail::t_profiler != nullptr;
+}
+
+/// The profiler active on this thread, or nullptr.
+[[nodiscard]] inline Profiler* profiler() noexcept { return detail::t_profiler; }
+
+/// Installs the *process-wide* fallback profiler (contexts carry their own;
+/// the harness wires per-run profilers through Context::profiler). Refreshes
+/// this thread's cache immediately; other threads pick the change up when
+/// they next install a ScopedContext. Pass nullptr to uninstall.
+inline void set_profiler(Profiler* prof) noexcept {
+  detail::global_profiler_ref().store(prof, std::memory_order_relaxed);
+  const Context* ctx = detail::t_context;
+  detail::t_profiler = ctx != nullptr ? ctx->profiler : prof;
+}
+
 /// The run-scoped safe-area fallback counter: the installed context's slot,
 /// or the process-wide one.
 [[nodiscard]] inline std::atomic<std::uint64_t>& safe_area_fallback_slot() noexcept {
@@ -102,15 +136,22 @@ inline void set_enabled(bool on) noexcept {
 class ScopedContext {
  public:
   explicit ScopedContext(Context* ctx) noexcept
-      : prev_(detail::t_context), prev_enabled_(detail::t_enabled) {
+      : prev_(detail::t_context),
+        prev_enabled_(detail::t_enabled),
+        prev_profiler_(detail::t_profiler) {
     detail::t_context = ctx;
     detail::t_enabled = ctx != nullptr
                             ? ctx->enabled
                             : detail::enabled_ref().load(std::memory_order_relaxed);
+    detail::t_profiler =
+        ctx != nullptr
+            ? ctx->profiler
+            : detail::global_profiler_ref().load(std::memory_order_relaxed);
   }
   ~ScopedContext() {
     detail::t_context = prev_;
     detail::t_enabled = prev_enabled_;
+    detail::t_profiler = prev_profiler_;
   }
 
   ScopedContext(const ScopedContext&) = delete;
@@ -119,6 +160,7 @@ class ScopedContext {
  private:
   Context* prev_;
   bool prev_enabled_;
+  Profiler* prev_profiler_;
 };
 
 }  // namespace hydra::obs

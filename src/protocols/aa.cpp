@@ -6,6 +6,7 @@
 #include "common/assert.hpp"
 #include "obs/metrics.hpp"
 #include "obs/monitor.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 #include "protocols/aa_iteration.hpp"
 #include "protocols/keys.hpp"
@@ -92,6 +93,7 @@ void AaParty::on_message(Env& env, PartyId from, const Message& msg) {
 }
 
 void AaParty::on_rbc_deliver(Env& env, const InstanceKey& key, const Bytes& payload) {
+  HYDRA_PROF_SCOPE("aa.rbc");
   switch (key.tag) {
     case kRbcInitValue:
       init_.on_rbc_value(env, key.a, payload);
@@ -117,6 +119,7 @@ void AaParty::on_rbc_deliver(Env& env, const InstanceKey& key, const Bytes& payl
 }
 
 void AaParty::on_timer(Env& env, std::uint64_t /*timer_id*/) {
+  HYDRA_PROF_SCOPE("aa.timer");
   // Timers exist only to re-evaluate time guards at their thresholds; the
   // timer phase makes boundary guards inclusive (see ObcInstance::step).
   init_.step(env, /*at_timer=*/true);
@@ -125,6 +128,7 @@ void AaParty::on_timer(Env& env, std::uint64_t /*timer_id*/) {
 }
 
 void AaParty::on_init_output(Env& env, const InitInstance::Output& out) {
+  HYDRA_PROF_SCOPE("aa.init");
   HYDRA_ASSERT(it_ == 0);
   big_t_ = out.iterations;
   values_.push_back(out.v0);
@@ -143,6 +147,7 @@ void AaParty::on_init_output(Env& env, const InitInstance::Output& out) {
 }
 
 void AaParty::on_obc_output(Env& env, std::uint32_t iteration, const PairList& m) {
+  HYDRA_PROF_SCOPE("aa.obc");
   geo::Vec v = compute_new_value(params_, m);
   if (params_.test_faulty_escape != 0.0) {
     // Party-dependent shift so the faulty values both escape the honest hull
@@ -154,6 +159,7 @@ void AaParty::on_obc_output(Env& env, std::uint32_t iteration, const PairList& m
 }
 
 void AaParty::advance(Env& env) {
+  HYDRA_PROF_SCOPE("aa.aggregate");
   // ΠAA lines 5-11. Loop because completing iteration `it` can immediately
   // enable iteration it+1 whose OBC result is already buffered (asynchrony).
   //

@@ -1,9 +1,7 @@
 #include "protocols/aa_iteration.hpp"
 
 #include <algorithm>
-#include <array>
 #include <atomic>
-#include <chrono>
 
 #include "common/assert.hpp"
 #include "common/combinatorics.hpp"
@@ -11,6 +9,7 @@
 #include "geometry/safe_area.hpp"
 #include "obs/context.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 
 namespace hydra::protocols {
 namespace {
@@ -34,20 +33,14 @@ std::uint64_t safe_area_fallback_count() noexcept {
 }
 
 geo::Vec compute_new_value(const Params& params, const PairList& m) {
-  if (!obs::enabled()) return compute_new_value_impl(params, m);
-  // Wall-clock timing of the geometry kernel. This is observability-only
-  // data: it never feeds back into protocol decisions, so determinism of the
-  // run (and of the trace, which carries virtual time only) is preserved.
-  auto& registry = obs::registry();
-  registry.counter("aa.safe_area_calls").inc();
-  const auto t0 = std::chrono::steady_clock::now();
-  geo::Vec v = compute_new_value_impl(params, m);
-  const auto dt = std::chrono::steady_clock::now() - t0;
-  static constexpr std::array<double, 8> kBoundsUs{1.0,   5.0,   10.0,   50.0,
-                                                   100.0, 500.0, 1000.0, 5000.0};
-  registry.histogram("aa.safe_area_us", kBoundsUs)
-      .observe(std::chrono::duration<double, std::micro>(dt).count());
-  return v;
+  // Wall-clock timing of the geometry kernel lives in the phase profiler
+  // ("aa.safe_area", with the geo.* kernels as children), which exports to
+  // the perf JSON side-channel only — so the registry snapshot, like the
+  // trace, is byte-deterministic per (spec, seed). Only the deterministic
+  // call count stays a registry metric.
+  HYDRA_PROF_SCOPE("aa.safe_area");
+  if (obs::enabled()) obs::registry().counter("aa.safe_area_calls").inc();
+  return compute_new_value_impl(params, m);
 }
 
 namespace {

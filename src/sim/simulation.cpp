@@ -8,6 +8,7 @@
 #include "net/delivery.hpp"
 #include "obs/metrics.hpp"
 #include "obs/monitor.hpp"
+#include "obs/prof.hpp"
 
 namespace hydra::sim {
 
@@ -141,12 +142,13 @@ SimStats Simulation::run() {
     schedule_phase(0, Phase::kMessage, [sim, id] { sim->parties_[id]->start(*sim->envs_[id]); });
   }
 
-  // Hoisted: the context (and with it the monitor host) cannot change while
-  // run() executes on this thread. The drain loop is duplicated so the
-  // monitors-off path carries no per-event check (bench_obs_overhead).
+  // Hoisted: the context (and with it the monitor host and profiler) cannot
+  // change while run() executes on this thread. The drain loop is duplicated
+  // so the monitors-off, profiler-off path carries no per-event check
+  // (bench_obs_overhead).
   obs::MonitorHost* mon = obs::enabled() ? obs::monitors() : nullptr;
 
-  if (mon == nullptr) {
+  if (mon == nullptr && !obs::prof_enabled()) {
     while (!queue_.empty()) {
       if (stats_.events >= config_.max_events || queue_.top().at > config_.max_time) {
         stats_.hit_limit = true;
@@ -164,22 +166,7 @@ SimStats Simulation::run() {
       ev.fn();
     }
   } else {
-    while (!queue_.empty()) {
-      if (stats_.events >= config_.max_events || queue_.top().at > config_.max_time) {
-        stats_.hit_limit = true;
-        break;
-      }
-      if (mon->abort_requested()) {
-        stats_.monitor_aborted = true;
-        break;
-      }
-      Event ev = std::move(const_cast<Event&>(queue_.top()));
-      queue_.pop();
-      HYDRA_ASSERT(ev.at >= now_);
-      now_ = ev.at;
-      stats_.events += 1;
-      ev.fn();
-    }
+    drain_observed(mon);
   }
 
   stats_.end_time = now_;
@@ -188,6 +175,32 @@ SimStats Simulation::run() {
     obs::registry().counter("sim.events").inc(stats_.events);
   }
   return stats_;
+}
+
+void Simulation::drain_observed(obs::MonitorHost* mon) {
+  HYDRA_PROF_SCOPE("sim.run");
+  while (!queue_.empty()) {
+    if (stats_.events >= config_.max_events || queue_.top().at > config_.max_time) {
+      stats_.hit_limit = true;
+      break;
+    }
+    if (mon != nullptr && mon->abort_requested()) {
+      stats_.monitor_aborted = true;
+      break;
+    }
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    HYDRA_ASSERT(ev.at >= now_);
+    now_ = ev.at;
+    stats_.events += 1;
+    {
+      // Per-event phase: everything a handler does (net.deliver, aa.*,
+      // geo.*) nests under sim.event, so self-time here is pure event-loop
+      // bookkeeping.
+      HYDRA_PROF_SCOPE("sim.event");
+      ev.fn();
+    }
+  }
 }
 
 }  // namespace hydra::sim

@@ -88,6 +88,15 @@ class Simulation {
 
   void schedule_phase(Time at, Phase phase, std::function<void()> fn);
 
+  /// Drain loop for observed runs (monitors and/or profiler active). Kept
+  /// out of run() — and out of the hot text sections — so the lean loop the
+  /// overhead bench gates shares no cache lines with monitor checks or
+  /// profiler scopes.
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((noinline, cold))
+#endif
+  void drain_observed(obs::MonitorHost* mon);
+
   /// Runs the posted message through the shared net::EgressPipeline
   /// (accounting, fault injection, ids, obs emission) and schedules the
   /// surviving copies. The simulator itself contains no egress logic.

@@ -15,6 +15,7 @@
 #include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/monitor.hpp"
+#include "obs/prof.hpp"
 
 namespace hydra::transport {
 
@@ -155,6 +156,10 @@ ThreadNetStats ThreadNetwork::run(
 
   auto worker = [&, obs_ctx](PartyId id) {
     const obs::ScopedContext obs_scope(obs_ctx);
+    // Workers inherit the profiler through the context; the scope stack is
+    // thread-local, so concurrent parties attribute self/child time
+    // independently while aggregating into the shared per-phase atomics.
+    HYDRA_PROF_SCOPE("transport.worker");
     ThreadEnv env(this, id);
     sim::IParty& party = *parties[id];
     party.start(env);
@@ -186,6 +191,7 @@ ThreadNetStats ThreadNetwork::run(
       // Fire all due timers.
       const Time now = now_ticks();
       while (auto timer_id = env.pop_due_timer(now)) {
+        HYDRA_PROF_SCOPE("transport.timer");
         party.on_timer(env, *timer_id);
         progressed = true;
       }

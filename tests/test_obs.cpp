@@ -260,7 +260,10 @@ TEST(Obs, MetricsJsonIsWritten) {
   EXPECT_NE(json.find("\"per_round\""), std::string::npos);
   EXPECT_NE(json.find("\"diameter_per_round\""), std::string::npos);
   EXPECT_NE(json.find("\"sim.messages\""), std::string::npos);
-  EXPECT_NE(json.find("\"aa.safe_area_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"aa.safe_area_calls\""), std::string::npos);
+  // Wall-clock timings moved to the hydra-perf-v1 side channel (--perf-json)
+  // so the metrics document is byte-deterministic per (spec, seed).
+  EXPECT_EQ(json.find("\"aa.safe_area_us\""), std::string::npos);
   std::remove(path.c_str());
 }
 

@@ -34,32 +34,6 @@ std::string slurp(const std::string& path) {
   return out.str();
 }
 
-/// Removes `"key":{...}` (brace-matched) plus one adjacent comma. Used to
-/// drop the only wall-clock (hence nondeterministic even serially) metric
-/// before comparing metrics snapshots.
-std::string strip_key_object(std::string json, const std::string& key) {
-  const std::string needle = "\"" + key + "\":";
-  const auto start = json.find(needle);
-  if (start == std::string::npos) return json;
-  auto open = json.find('{', start + needle.size());
-  EXPECT_NE(open, std::string::npos);
-  std::size_t depth = 0;
-  auto end = open;
-  for (; end < json.size(); ++end) {
-    if (json[end] == '{') ++depth;
-    if (json[end] == '}' && --depth == 0) break;
-  }
-  EXPECT_LT(end, json.size());
-  auto erase_from = start;
-  auto erase_to = end + 1;
-  if (erase_to < json.size() && json[erase_to] == ',') {
-    ++erase_to;  // "key":{...},  -> drop trailing comma
-  } else if (erase_from > 0 && json[erase_from - 1] == ',') {
-    --erase_from;  // ...,"key":{...}}  -> drop preceding comma
-  }
-  return json.erase(erase_from, erase_to - erase_from);
-}
-
 harness::RunSpec small_spec(std::uint64_t seed, harness::Network network) {
   harness::RunSpec spec;
   spec.params.n = 5;
@@ -88,7 +62,8 @@ TEST(Sweep, EmptyGridReturnsEmpty) {
 
 // The tentpole contract: per (spec, seed) the parallel engine produces the
 // same results and the same output files as sequential execution, byte for
-// byte — only the wall-clock safe-area timing histogram may differ.
+// byte. (Wall-clock timings live in the hydra-perf-v1 side channel, never in
+// the metrics document, so no carve-out is needed.)
 TEST(Sweep, ParallelMatchesSequentialByteForByte) {
   const std::string dir = testing::TempDir();
   std::vector<harness::RunSpec> grid_seq;
@@ -125,13 +100,10 @@ TEST(Sweep, ParallelMatchesSequentialByteForByte) {
     ASSERT_FALSE(trace_seq.empty()) << grid_seq[i].trace_out;
     EXPECT_EQ(trace_seq, slurp(grid_par[i].trace_out)) << i;
 
-    // Metrics snapshots are identical modulo the wall-clock histogram.
-    const std::string metrics_seq =
-        strip_key_object(slurp(grid_seq[i].metrics_out), "aa.safe_area_us");
+    // Metrics snapshots are fully deterministic: byte-identical too.
+    const std::string metrics_seq = slurp(grid_seq[i].metrics_out);
     ASSERT_FALSE(metrics_seq.empty()) << grid_seq[i].metrics_out;
-    EXPECT_EQ(metrics_seq,
-              strip_key_object(slurp(grid_par[i].metrics_out), "aa.safe_area_us"))
-        << i;
+    EXPECT_EQ(metrics_seq, slurp(grid_par[i].metrics_out)) << i;
 
     std::remove(grid_seq[i].trace_out.c_str());
     std::remove(grid_seq[i].metrics_out.c_str());

@@ -5,6 +5,8 @@
 //                             pass rate
 //   hydra report [options]    render a trace (+ metrics) into a readable
 //                             report (markdown or single-file HTML)
+//   hydra perf   [options]    measure the geometry kernels (ns/point) or
+//                             render a --perf-json phase profile
 //   hydra list                print the accepted option values
 //
 // Options (with defaults):
@@ -46,6 +48,10 @@
 //   --monitors MODE       off|record|strict — online invariant monitors
 //                         (docs/OBSERVABILITY.md "Invariant monitors");
 //                         strict aborts the run on the first violation
+//   --perf-json PATH      hydra-perf-v1 phase profile of the run (scoped
+//                         profiler; docs/OBSERVABILITY.md "Phase profiler").
+//                         Wall-clock ns — NOT byte-deterministic, unlike the
+//                         trace/metrics files (phase counts are)
 // In sweep mode each seed writes PATH with a ".s<seed>" suffix before the
 // extension, so no seed overwrites another.
 //
@@ -54,6 +60,18 @@
 //   --metrics PATH        the run's --metrics-json document (optional)
 //   --out PATH            output file (default: stdout)
 //   --format md|html      report format (default md)
+//
+// hydra perf options (docs/OBSERVABILITY.md "Measuring performance"):
+//   (no --input)          measure the geometry kernels on fixed inputs and
+//                         print ns/point per kernel
+//   --json PATH           also write the measurements as hydra-bench-v1 JSON
+//   --baseline PATH       compare against a checked-in bench JSON (e.g.
+//                         bench/baselines/BENCH_geometry.json); prints the
+//                         delta table and exits 1 past --budget
+//   --budget FRAC         relative regression budget (default 0.10)
+//   --input PATH          instead: render a --perf-json phase profile as a
+//                         self/total attribution table
+//   --top K               show only the top K phases by self time
 //
 // Exit status: 0 when every executed run satisfied D-AA *and* no invariant
 // monitor recorded a violation, 1 otherwise — usable directly in scripts
@@ -72,6 +90,7 @@
 
 #include "common/log.hpp"
 #include "faults/faults.hpp"
+#include "harness/perf.hpp"
 #include "harness/runner.hpp"
 #include "harness/stats.hpp"
 #include "harness/sweep.hpp"
@@ -94,11 +113,12 @@ struct Options {
 [[noreturn]] void usage(const char* error = nullptr) {
   if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
   std::fprintf(stderr,
-               "usage: hydra <run|sweep|report|list> [--key value | --key=value ...]\n"
+               "usage: hydra <run|sweep|report|perf|list> [--key value | --key=value ...]\n"
                "keys: n ts ta dim eps delta protocol network adversary corrupt\n"
                "      workload scale seed seeds aggregation jobs sweep-json\n"
-               "      trace-out metrics-json log-level monitors faults backend\n"
+               "      trace-out metrics-json perf-json log-level monitors faults backend\n"
                "report keys: trace metrics out format title\n"
+               "perf keys: json baseline budget input top\n"
                "run `hydra list` for accepted values.\n");
   std::exit(2);
 }
@@ -199,6 +219,9 @@ Options parse(int argc, char** argv) {
   if (const auto it = kv.find("trace-out"); it != kv.end()) spec.trace_out = it->second;
   if (const auto it = kv.find("metrics-json"); it != kv.end()) {
     spec.metrics_out = it->second;
+  }
+  if (const auto it = kv.find("perf-json"); it != kv.end()) {
+    spec.perf_out = it->second;
   }
   if (const auto it = kv.find("sweep-json"); it != kv.end()) {
     opts.sweep_json = it->second;
@@ -321,6 +344,7 @@ int cmd_sweep(const Options& opts) {
     spec.seed = s + 1;
     spec.trace_out = with_seed_suffix(opts.spec.trace_out, spec.seed);
     spec.metrics_out = with_seed_suffix(opts.spec.metrics_out, spec.seed);
+    spec.perf_out = with_seed_suffix(opts.spec.perf_out, spec.seed);
     grid.push_back(std::move(spec));
   }
 
@@ -449,6 +473,73 @@ int cmd_report(int argc, char** argv) {
   return 0;
 }
 
+int cmd_perf(int argc, char** argv) {
+  std::map<std::string, std::string> kv;
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) usage("malformed options");
+    key = key.substr(2);
+    if (const auto eq = key.find('='); eq != std::string::npos) {
+      kv[key.substr(0, eq)] = key.substr(eq + 1);
+    } else {
+      if (i + 1 >= argc) usage("malformed options");
+      kv[key] = argv[++i];
+    }
+  }
+
+  // Phase-profile mode: render a run's --perf-json document.
+  if (const auto it = kv.find("input"); it != kv.end()) {
+    const auto rows = load_perf_json(it->second);
+    if (!rows) {
+      std::fprintf(stderr, "error: %s is not a hydra-perf-v1 document\n",
+                   it->second.c_str());
+      return 1;
+    }
+    std::size_t top = 0;
+    if (const auto t = kv.find("top"); t != kv.end()) {
+      top = static_cast<std::size_t>(std::strtoull(t->second.c_str(), nullptr, 10));
+    }
+    std::fputs(render_phase_report(*rows, top).c_str(), stdout);
+    return 0;
+  }
+
+  // Kernel mode: measure the geometry kernels on fixed inputs.
+  const auto metrics = measure_geometry_kernels();
+  Table table({"kernel", "unit", "value", "repetitions"});
+  for (const auto& m : metrics) {
+    table.row({m.name, m.unit, fmt(m.value), fmt(m.repetitions)});
+  }
+  table.print();
+
+  if (const auto it = kv.find("json"); it != kv.end()) {
+    if (!write_bench_json(it->second, "geometry", metrics)) return 1;
+  }
+  if (const auto it = kv.find("baseline"); it != kv.end()) {
+    const auto baseline = load_bench_json(it->second);
+    if (!baseline) {
+      std::fprintf(stderr, "error: %s is not a hydra-bench-v1 document\n",
+                   it->second.c_str());
+      return 1;
+    }
+    double budget = 0.10;
+    if (const auto b = kv.find("budget"); b != kv.end()) {
+      budget = std::strtod(b->second.c_str(), nullptr);
+    }
+    std::vector<std::string> regressions;
+    std::printf("\nvs %s (budget %+.0f%%):\n", it->second.c_str(), 100.0 * budget);
+    std::fputs(
+        render_delta_table(metrics, baseline->metrics, budget, &regressions).c_str(),
+        stdout);
+    if (!regressions.empty()) {
+      std::printf("\nREGRESSION:");
+      for (const auto& name : regressions) std::printf(" %s", name.c_str());
+      std::printf("\n");
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -459,6 +550,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (command == "report") return cmd_report(argc, argv);
+  if (command == "perf") return cmd_perf(argc, argv);
   const auto opts = parse(argc, argv);
   if (command == "run") return cmd_run(opts);
   if (command == "sweep") return cmd_sweep(opts);

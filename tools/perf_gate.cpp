@@ -1,0 +1,84 @@
+// perf_gate — the CI regression gate over hydra-bench-v1 documents.
+//
+//   perf_gate --current PATH --baseline PATH [--budget FRAC] [--inflate F]
+//
+// Exit 0 when every baseline metric is present in --current and within
+// budget (current <= baseline * (1 + budget); all units are
+// lower-is-better), 1 on any regression or missing metric, 2 on unreadable
+// inputs. --budget defaults to 0.10.
+//
+// --inflate F multiplies every current value by F before comparing. CI runs
+// the gate twice: once for real, and once with --inflate 1.25 against the
+// SAME file — which must exit 1, proving the gate actually trips on a >10%
+// regression (a gate that cannot fail is worse than no gate).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/perf.hpp"
+
+using namespace hydra::harness;
+
+int main(int argc, char** argv) {
+  std::string current_path;
+  std::string baseline_path;
+  double budget = 0.10;
+  double inflate = 1.0;
+  for (int i = 1; i < argc; ++i) {
+    const auto arg = [&](const char* name) -> const char* {
+      if (std::strcmp(argv[i], name) != 0) return nullptr;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", name);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (const char* v = arg("--current")) {
+      current_path = v;
+    } else if (const char* v = arg("--baseline")) {
+      baseline_path = v;
+    } else if (const char* v = arg("--budget")) {
+      budget = std::strtod(v, nullptr);
+    } else if (const char* v = arg("--inflate")) {
+      inflate = std::strtod(v, nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_gate --current PATH --baseline PATH"
+                   " [--budget FRAC] [--inflate F]\n");
+      return 2;
+    }
+  }
+  if (current_path.empty() || baseline_path.empty()) {
+    std::fprintf(stderr, "error: --current and --baseline are required\n");
+    return 2;
+  }
+
+  auto current = load_bench_json(current_path);
+  const auto baseline = load_bench_json(baseline_path);
+  if (!current || !baseline) {
+    std::fprintf(stderr, "error: inputs must be hydra-bench-v1 documents\n");
+    return 2;
+  }
+  if (inflate != 1.0) {
+    for (auto& m : current->metrics) m.value *= inflate;
+    std::printf("(self-test: current values inflated by %.2fx)\n", inflate);
+  }
+
+  std::vector<std::string> regressions;
+  std::printf("perf gate: %s vs %s (budget %+.0f%%)\n", current_path.c_str(),
+              baseline_path.c_str(), 100.0 * budget);
+  std::fputs(
+      render_delta_table(current->metrics, baseline->metrics, budget, &regressions)
+          .c_str(),
+      stdout);
+  if (!regressions.empty()) {
+    std::printf("\nFAIL:");
+    for (const auto& name : regressions) std::printf(" %s", name.c_str());
+    std::printf("\n");
+    return 1;
+  }
+  std::printf("\nOK: all metrics within budget\n");
+  return 0;
+}

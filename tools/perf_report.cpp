@@ -1,0 +1,95 @@
+// perf_report — render performance artifacts without re-measuring anything.
+//
+//   perf_report --input PATH [--top K]
+//       render a hydra-perf-v1 phase profile (from `hydra run --perf-json`)
+//       as the self/total attribution table
+//   perf_report --current PATH --baseline PATH [--budget FRAC]
+//       render the per-metric delta table between two hydra-bench-v1
+//       documents (exit 1 past the budget, default 0.10)
+//
+// The measuring counterparts live in `hydra perf` (kernels) and the bench
+// binaries' --json mode; this tool only reads their files, so CI can render
+// reports from uploaded artifacts.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/perf.hpp"
+
+using namespace hydra::harness;
+
+namespace {
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n", error);
+  std::fprintf(stderr,
+               "usage: perf_report --input PERF_JSON [--top K]\n"
+               "       perf_report --current BENCH_JSON --baseline BENCH_JSON"
+               " [--budget FRAC]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> kv;
+  for (int i = 1; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) usage("malformed options");
+    key = key.substr(2);
+    if (const auto eq = key.find('='); eq != std::string::npos) {
+      kv[key.substr(0, eq)] = key.substr(eq + 1);
+    } else {
+      if (i + 1 >= argc) usage("malformed options");
+      kv[key] = argv[++i];
+    }
+  }
+
+  if (const auto it = kv.find("input"); it != kv.end()) {
+    const auto rows = load_perf_json(it->second);
+    if (!rows) {
+      std::fprintf(stderr, "error: %s is not a hydra-perf-v1 document\n",
+                   it->second.c_str());
+      return 1;
+    }
+    std::size_t top = 0;
+    if (const auto t = kv.find("top"); t != kv.end()) {
+      top = static_cast<std::size_t>(std::strtoull(t->second.c_str(), nullptr, 10));
+    }
+    std::fputs(render_phase_report(*rows, top).c_str(), stdout);
+    return 0;
+  }
+
+  const auto cur_it = kv.find("current");
+  const auto base_it = kv.find("baseline");
+  if (cur_it == kv.end() || base_it == kv.end()) {
+    usage("need --input, or --current and --baseline");
+  }
+  const auto current = load_bench_json(cur_it->second);
+  const auto baseline = load_bench_json(base_it->second);
+  if (!current || !baseline) {
+    std::fprintf(stderr, "error: inputs must be hydra-bench-v1 documents\n");
+    return 1;
+  }
+  double budget = 0.10;
+  if (const auto b = kv.find("budget"); b != kv.end()) {
+    budget = std::strtod(b->second.c_str(), nullptr);
+  }
+  std::vector<std::string> regressions;
+  std::printf("%s vs %s (budget %+.0f%%):\n", cur_it->second.c_str(),
+              base_it->second.c_str(), 100.0 * budget);
+  std::fputs(
+      render_delta_table(current->metrics, baseline->metrics, budget, &regressions)
+          .c_str(),
+      stdout);
+  if (!regressions.empty()) {
+    std::printf("\nREGRESSION:");
+    for (const auto& name : regressions) std::printf(" %s", name.c_str());
+    std::printf("\n");
+    return 1;
+  }
+  return 0;
+}
