@@ -5,8 +5,10 @@
 // format is little-endian, length-prefixed, with no alignment padding —
 // enough to make message sizes realistic and byte accounting meaningful.
 //
-// Readers are written defensively: a Byzantine party controls payload bytes,
-// so every decode reports failure via ok() instead of invoking UB.
+// Readers are written defensively: a Byzantine party controls payload bytes
+// — and on the socket backends (transport/socket_net.hpp) the bytes arrive
+// straight from the OS — so every decode reports failure via ok() instead of
+// invoking UB, and all length-prefix arithmetic is overflow-safe.
 #pragma once
 
 #include <cstdint>
@@ -100,24 +102,20 @@ class Reader {
   }
 
   Bytes bytes() {
-    const std::uint32_t len = u32();
-    if (!ensure(len)) return {};
-    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
-    pos_ += len;
-    return out;
+    const auto span = take_prefixed();
+    return Bytes(span.begin(), span.end());
   }
 
   std::string str() {
-    const std::uint32_t len = u32();
-    if (!ensure(len)) return {};
-    std::string out(reinterpret_cast<const char*>(data_.data() + pos_), len);
-    pos_ += len;
-    return out;
+    const auto span = take_prefixed();
+    return std::string(reinterpret_cast<const char*>(span.data()), span.size());
   }
 
   std::vector<double> f64_vec(std::uint32_t max_len = 1u << 20) {
     const std::uint32_t len = u32();
+    // Element-count cap first: a 32-bit length can demand up to 32 GiB of
+    // doubles, and `len * 8` must never be formed before the cap check on
+    // platforms where size_t is 32 bits wide.
     if (len > max_len || !ensure(std::size_t{len} * 8)) {
       ok_ = false;
       return {};
@@ -129,6 +127,22 @@ class Reader {
   }
 
  private:
+  /// Reads a u32 length prefix and consumes that many bytes, returning them
+  /// as a span ({} with ok_=false on truncated input). All length-prefix
+  /// arithmetic is centralized here and phrased as `remaining < len` so no
+  /// `pos_ + len` sum — which wraps for len near UINT32_MAX on 32-bit
+  /// size_t — is ever formed against attacker-controlled lengths.
+  [[nodiscard]] std::span<const std::uint8_t> take_prefixed() {
+    const std::uint32_t len = u32();
+    if (!ensure(len)) return {};
+    const auto out = data_.subspan(pos_, len);
+    pos_ += len;
+    return out;
+  }
+
+  /// Overflow-safe bounds check: pos_ <= data_.size() is a class invariant
+  /// (positions only advance after a successful ensure), so the subtraction
+  /// cannot underflow, and `need` is never added to pos_ before the check.
   [[nodiscard]] bool ensure(std::size_t need) noexcept {
     if (!ok_ || data_.size() - pos_ < need) {
       ok_ = false;

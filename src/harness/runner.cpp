@@ -27,6 +27,7 @@
 #include "protocols/init.hpp"
 #include "sim/delay.hpp"
 #include "sim/sim_backend.hpp"
+#include "transport/socket_backend.hpp"
 #include "transport/thread_backend.hpp"
 
 namespace hydra::harness {
@@ -204,6 +205,8 @@ void write_metrics_json(const RunSpec& spec, const RunResult& result,
   w.kv("max_output_iteration", std::uint64_t{result.max_output_iteration});
   w.kv("safe_area_fallbacks", result.safe_area_fallbacks);
   w.kv("max_sent_by_party", result.max_sent_by_party);
+  w.kv("frames_auth_dropped", result.frames_auth_dropped);
+  w.kv("frames_decode_dropped", result.frames_decode_dropped);
   w.end_object();
 
   const auto u64_array = [&w](std::string_view name,
@@ -436,6 +439,7 @@ void ensure_backends_registered() {
   std::call_once(once, [] {
     sim::register_sim_backend();
     transport::register_thread_backend();
+    transport::register_socket_backends();
   });
 }
 
@@ -564,15 +568,29 @@ RunResult execute(const RunSpec& spec) {
   // thread-per-party transport), hand it the same DelayModel, parties, and
   // injector, and read back backend-neutral stats.
   ensure_backends_registered();
-  auto backend = net::make_backend(spec.backend,
-                                   net::BackendConfig{.n = p.n,
-                                                      .delta = p.delta,
-                                                      .seed = spec.seed,
-                                                      .max_time = spec.max_time,
-                                                      .us_per_tick = spec.us_per_tick,
-                                                      .timeout_ms = spec.timeout_ms},
-                                   make_network(spec));
-  HYDRA_ASSERT_MSG(backend != nullptr, "unknown RunSpec::backend name");
+  auto backend =
+      net::make_backend(spec.backend,
+                        net::BackendConfig{.n = p.n,
+                                           .delta = p.delta,
+                                           .seed = spec.seed,
+                                           .max_time = spec.max_time,
+                                           .us_per_tick = spec.us_per_tick,
+                                           .timeout_ms = spec.timeout_ms,
+                                           .endpoints = spec.socket_endpoints,
+                                           .local_parties = spec.socket_local},
+                        make_network(spec));
+  if (backend == nullptr) {
+    // Actionable, not just fatal: name the backend that failed to resolve
+    // AND every name that would have worked.
+    std::string known;
+    for (const auto& name : net::backend_names()) {
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    const std::string msg = "unknown RunSpec::backend \"" + spec.backend +
+                            "\"; registered backends: " + known;
+    HYDRA_ASSERT_MSG(backend != nullptr, msg.c_str());
+  }
 
   std::optional<faults::FaultInjector> injector;
   if (!fault_plan.empty()) {
@@ -596,6 +614,20 @@ RunResult execute(const RunSpec& spec) {
       .delta = p.delta,
       .rounds = protocols::sufficient_iterations(
           p.eps, std::max(1e-12, geo::diameter(inputs)))};
+
+  // In multi-process socket mode only the parties hosted here are judged:
+  // remote slots never run in this process, so their observers would read
+  // never-started party objects and report them unfinished. Validity still
+  // judges against every honest INPUT (computed above, a pure function of
+  // the spec, identical in each process).
+  std::vector<bool> judged_mask(p.n, true);
+  if (!spec.socket_local.empty()) {
+    judged_mask.assign(p.n, false);
+    for (const PartyId id : spec.socket_local) {
+      HYDRA_ASSERT_MSG(id < p.n, "RunSpec::socket_local names a party >= n");
+      judged_mask[id] = true;
+    }
+  }
 
   std::vector<const AaParty*> hybrid_parties;
   std::vector<const baselines::SyncLockstepParty*> lockstep_parties;
@@ -624,7 +656,7 @@ RunResult execute(const RunSpec& spec) {
     switch (spec.protocol) {
       case Protocol::kHybrid: {
         auto party = std::make_unique<AaParty>(p, inputs[id]);
-        if (honest_mask[id]) hybrid_parties.push_back(party.get());
+        if (honest_mask[id] && judged_mask[id]) hybrid_parties.push_back(party.get());
         finish_kind[id] = Finish::kAa;
         parties.push_back(std::move(party));
         break;
@@ -636,14 +668,14 @@ RunResult execute(const RunSpec& spec) {
         Params mh = p;
         mh.ta = async_mh_ta(p);
         auto party = std::make_unique<AaParty>(mh, inputs[id]);
-        if (honest_mask[id]) hybrid_parties.push_back(party.get());
+        if (honest_mask[id] && judged_mask[id]) hybrid_parties.push_back(party.get());
         finish_kind[id] = Finish::kAa;
         parties.push_back(std::move(party));
         break;
       }
       case Protocol::kSyncLockstep: {
         auto party = std::make_unique<baselines::SyncLockstepParty>(lockstep, inputs[id]);
-        if (honest_mask[id]) lockstep_parties.push_back(party.get());
+        if (honest_mask[id] && judged_mask[id]) lockstep_parties.push_back(party.get());
         finish_kind[id] = Finish::kLockstep;
         parties.push_back(std::move(party));
         break;
@@ -703,6 +735,8 @@ RunResult execute(const RunSpec& spec) {
   result.wall_ms = stats.wall_ms;
   result.progress = stats.progress;
   result.timeout_detail = stats.timeout_detail;
+  result.frames_auth_dropped = stats.frames_auth_dropped;
+  result.frames_decode_dropped = stats.frames_decode_dropped;
 
   std::vector<geo::Vec> outputs;
   std::size_t expected = 0;

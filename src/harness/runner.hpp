@@ -75,15 +75,29 @@ struct RunSpec {
   Time max_time = 500'000'000;
 
   /// Execution backend (net/backend.hpp): "sim" — the deterministic
-  /// discrete-event simulator (byte-identical traces per (spec, seed)) — or
-  /// "threads" — one OS thread per party under wall-clock time. Both run the
+  /// discrete-event simulator (byte-identical traces per (spec, seed)) —
+  /// "threads" — one OS thread per party under wall-clock time — or
+  /// "tcp"/"uds" — the socket transport, where every non-self message
+  /// crosses the OS as a length-prefixed frame. All backends run the
   /// identical protocol objects through the identical net::EgressPipeline /
   /// net::DeliveryGate path; only the scheduler differs.
   std::string backend = "sim";
-  /// Wall-clock microseconds per tick ("threads" backend only).
+  /// Wall-clock microseconds per tick (wall-clock backends only).
   double us_per_tick = 5.0;
-  /// Wall-clock run cap in milliseconds ("threads" backend only).
+  /// Wall-clock run cap in milliseconds (wall-clock backends only).
   std::int64_t timeout_ms = 30'000;
+
+  /// Socket backends only. `socket_endpoints` lists one address per party
+  /// ("host:port" for tcp, a filesystem path for uds); empty = self-assigned
+  /// loopback/tmpdir endpoints (requires all parties local).
+  /// `socket_local` names the parties hosted by THIS process (hydra
+  /// serve/join); empty = all parties local (single-process `--backend=tcp`).
+  /// In multi-process mode only the LOCAL honest parties are judged — remote
+  /// parties never run in this process, their hosts judge them — while
+  /// validity is still checked against every honest input (inputs are a pure
+  /// function of the spec, identical in every process).
+  std::vector<std::string> socket_endpoints;
+  std::vector<PartyId> socket_local;
 
   /// Fault-injection spec (src/faults/; grammar in docs/ROBUSTNESS.md), e.g.
   /// "dup(p=0.2);crash(party=0,at=5000)". "" = no faults. Parties the plan
@@ -150,17 +164,23 @@ struct RunResult {
   std::uint64_t fault_drops = 0;
   std::uint64_t fault_dups = 0;
   std::uint64_t fault_delays = 0;
-  /// Thread-backend diagnostics (all defaults on the simulator, which
+  /// Wall-clock-backend diagnostics (all defaults on the simulator, which
   /// detects quiescence and can neither stall nor time out).
   bool timed_out = false;
   std::int64_t wall_ms = 0;
   std::vector<net::PartyProgress> progress;  ///< per-party watchdog snapshot
   std::string timeout_detail;                ///< names WHO stalled on timeout
+  /// Socket backends only: frames rejected by the per-connection
+  /// authenticated-sender check and by the hardened decode path. Zero on
+  /// every healthy run (and always zero on sim/threads).
+  std::uint64_t frames_auth_dropped = 0;
+  std::uint64_t frames_decode_dropped = 0;
 };
 
-/// Registers the builtin execution backends ("sim", "threads") with the
-/// net::Backend registry. Idempotent and thread-safe; execute() calls it on
-/// every run, so only code talking to the registry directly needs it.
+/// Registers the builtin execution backends ("sim", "threads", "tcp",
+/// "uds") with the net::Backend registry. Idempotent and thread-safe;
+/// execute() calls it on every run, so only code talking to the registry
+/// directly needs it.
 void ensure_backends_registered();
 
 /// Names of the available execution backends, registering the builtins

@@ -1,13 +1,14 @@
 // Pluggable execution backends.
 //
 // A Backend runs a set of sim::IParty protocol objects under one network
-// model and returns backend-neutral statistics. Two implementations
-// register themselves here: "sim" (sim::SimBackend, the deterministic
-// discrete-event simulator) and "threads" (transport::ThreadBackend, one OS
-// thread per party under wall-clock time). harness::execute() selects one by
-// name through a single code path, so a third backend (e.g. a socket
-// transport) is an ~one-file addition: implement Backend, call
-// register_backend() at startup.
+// model and returns backend-neutral statistics. The builtins registered
+// here: "sim" (sim::SimBackend, the deterministic discrete-event simulator),
+// "threads" (transport::ThreadBackend, one OS thread per party under
+// wall-clock time), and "tcp"/"uds" (transport::SocketBackend, parties
+// exchanging length-prefixed frames over real sockets, in-process or across
+// process boundaries). harness::execute() selects one by name through a
+// single code path, so further backends are an additive change: implement
+// Backend, call register_backend() at startup.
 //
 // Ownership contract: run() receives the parties by reference and MAY move
 // them into backend-internal storage (the simulator does; the thread
@@ -45,6 +46,14 @@ struct BackendConfig {
   // Wall-clock pacing (ignored by the simulator).
   double us_per_tick = 1.0;
   std::int64_t timeout_ms = 30'000;
+  // Socket backends ("tcp"/"uds") only. `endpoints` lists one address per
+  // party ("host:port" for tcp, a filesystem path for uds); empty means the
+  // backend self-assigns loopback/tmpdir endpoints, which requires every
+  // party to be local. `local_parties` names the parties hosted by THIS
+  // process (empty = all of them — the single-process `--backend=tcp` mode);
+  // remote parties are reached through their endpoints (hydra serve/join).
+  std::vector<std::string> endpoints;
+  std::vector<PartyId> local_parties;
 };
 
 /// Backend-neutral run result: shared wire accounting plus the union of the
@@ -58,10 +67,15 @@ struct BackendStats {
   bool monitor_aborted = false;
   bool timed_out = false;     ///< wall-clock timeout elapsed (threads only)
   std::int64_t wall_ms = 0;   ///< wall-clock duration (threads only)
-  /// Per-party watchdog snapshot (threads only; empty on sim).
+  /// Per-party watchdog snapshot (wall-clock backends; empty on sim).
   std::vector<PartyProgress> progress;
-  /// Names WHO stalled when timed_out (threads only).
+  /// Names WHO stalled when timed_out (wall-clock backends).
   std::string timeout_detail;
+  /// Socket backends only: received frames rejected by the per-connection
+  /// authenticated-sender check (header `from` != the id bound at handshake)
+  /// and frames dropped by the hardened decode path (framing/parse errors).
+  std::uint64_t frames_auth_dropped = 0;
+  std::uint64_t frames_decode_dropped = 0;
 };
 
 class Backend {

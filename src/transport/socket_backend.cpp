@@ -1,0 +1,75 @@
+#include "transport/socket_backend.hpp"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/backend.hpp"
+#include "transport/socket_net.hpp"
+
+namespace hydra::transport {
+namespace {
+
+/// The parties stay owned by the caller (SocketNetwork borrows them and
+/// joins every worker before run() returns), satisfying the net::Backend
+/// ownership contract trivially. "tcp" and "uds" share this adapter — the
+/// registered name only flips SocketNetConfig::uds.
+class SocketBackend final : public net::Backend {
+ public:
+  SocketBackend(const net::BackendConfig& config, bool uds,
+                std::unique_ptr<sim::DelayModel> delay_model)
+      : us_per_tick_(config.us_per_tick),
+        net_(SocketNetConfig{.n = config.n,
+                             .delta = config.delta,
+                             .us_per_tick = config.us_per_tick,
+                             .seed = config.seed,
+                             .timeout_ms = config.timeout_ms,
+                             .uds = uds,
+                             .endpoints = config.endpoints,
+                             .local = config.local_parties},
+             std::move(delay_model)) {}
+
+  void set_fault_injector(faults::FaultInjector* injector) override {
+    net_.set_fault_injector(injector);
+  }
+
+  net::BackendStats run(std::vector<std::unique_ptr<sim::IParty>>& parties,
+                        const FinishedFn& finished) override {
+    const SocketNetStats stats = net_.run(parties, finished);
+    net::BackendStats out;
+    out.wire = stats;  // slice down to the shared WireStats base
+    // Same coarse wall-clock-to-ticks mapping as the thread backend, so
+    // rounds = end_time / Delta stays comparable across backends.
+    out.end_time = static_cast<Time>(static_cast<double>(stats.wall_ms) *
+                                     1000.0 / us_per_tick_);
+    out.monitor_aborted = stats.monitor_aborted;
+    out.timed_out = stats.timed_out;
+    out.wall_ms = stats.wall_ms;
+    out.progress = stats.progress;
+    out.timeout_detail = stats.timeout_detail;
+    out.frames_auth_dropped = stats.frames_auth_dropped;
+    out.frames_decode_dropped = stats.frames_decode_dropped;
+    return out;
+  }
+
+ private:
+  double us_per_tick_;
+  SocketNetwork net_;
+};
+
+}  // namespace
+
+void register_socket_backends() {
+  for (const bool uds : {false, true}) {
+    net::register_backend(
+        uds ? "uds" : "tcp",
+        [uds](const net::BackendConfig& config,
+              std::unique_ptr<sim::DelayModel> delay_model)
+            -> std::unique_ptr<net::Backend> {
+          return std::make_unique<SocketBackend>(config, uds,
+                                                 std::move(delay_model));
+        });
+  }
+}
+
+}  // namespace hydra::transport

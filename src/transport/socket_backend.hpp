@@ -1,0 +1,13 @@
+// net::Backend adapter for the socket transport.
+#pragma once
+
+namespace hydra::transport {
+
+/// Registers the socket transport as net backends "tcp" and "uds" (one code
+/// path; the name selects the address family). Idempotent (re-registering
+/// replaces the factory); called from harness::ensure_backends_registered()
+/// — explicit rather than a static initializer, which the linker would drop
+/// from a static library.
+void register_socket_backends();
+
+}  // namespace hydra::transport

@@ -1,0 +1,163 @@
+// Socket transport: parties speaking length-prefixed frames over TCP or
+// Unix-domain sockets (wire format in socket_wire.hpp).
+//
+// The same sim::IParty protocol objects run unchanged; what changes versus
+// the in-process thread transport is that every non-self message crosses the
+// OS — serialized into a {instance, from, to, seq, payload} frame, written
+// to a per-link socket, and decoded on the receiving side through the
+// hardened common/serialize.hpp readers. A process may host all n parties
+// (the single-process `--backend=tcp` mode, full mesh over loopback) or any
+// subset (`hydra serve`/`hydra join`: one party per process, peers named by
+// endpoint).
+//
+// Seam contract (docs/ARCHITECTURE.md): all egress policy — accounting,
+// fault outcomes, ids, trace/monitor emission — lives in the shared
+// net::EgressPipeline, applied at SOCKET EGRESS before the frame is queued
+// for its link, so drop/dup/reorder/partition fault plans behave identically
+// to sim/threads. Delivery dispatch goes through net::DeliveryGate on the
+// party's worker thread. Per-party watchdog semantics (PartyProgress,
+// timeout_detail, crash-windowed excusal) match the thread transport.
+//
+// Threading: per local party, one worker (protocol handlers + timers, the
+// same loop discipline as ThreadNetwork) and one writer (pops the party's
+// deadline-ordered egress queue and writes due frames to the destination
+// link); per local listener, one acceptor; per inbound connection, one
+// reader bound at handshake to the peer's claimed PartyId. Frames whose
+// header `from` disagrees with the bound id are dropped and counted
+// (authenticated-sender enforcement).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/egress.hpp"
+#include "net/wire_stats.hpp"
+#include "sim/delay.hpp"
+#include "sim/env.hpp"
+#include "sim/message.hpp"
+#include "transport/mailbox.hpp"
+
+namespace hydra::faults {
+class FaultInjector;
+}
+
+namespace hydra::transport {
+
+struct SocketNetConfig {
+  std::size_t n = 4;
+  Duration delta = 1000;       ///< Delta in ticks (same unit as protocol Params)
+  double us_per_tick = 1.0;    ///< wall-clock microseconds per tick
+  std::uint64_t seed = 1;      ///< seeds delay RNG; derives the handshake run id
+  std::int64_t timeout_ms = 30'000;  ///< wall-clock run cap
+  bool uds = false;            ///< AF_UNIX instead of TCP over loopback
+  /// One address per party: "host:port" (tcp, numeric IPv4) or a socket
+  /// path (uds). Empty => self-assigned (ephemeral loopback ports / a fresh
+  /// tmpdir), which requires all parties local.
+  std::vector<std::string> endpoints;
+  /// Parties hosted by THIS process. Empty => all of them.
+  std::vector<PartyId> local;
+};
+
+/// Wire accounting in the shared net::WireStats base (filled through the
+/// same net::EgressPipeline as sim/threads; in multi-process mode it covers
+/// the LOCAL parties' sends — each process accounts for its own).
+struct SocketNetStats : net::WireStats {
+  bool timed_out = false;
+  std::int64_t wall_ms = 0;
+  bool monitor_aborted = false;
+  /// One entry per party (index = PartyId); remote parties report only the
+  /// fin/crash flags this process can observe.
+  std::vector<net::PartyProgress> progress;
+  /// Empty unless timed_out: same who-stalled-and-why format as the thread
+  /// transport (local parties only — remote stalls are their host's report).
+  std::string timeout_detail;
+  /// Hardened ingress counters (socket_wire.hpp): authenticated-sender
+  /// rejections and malformed-frame drops. Zero on every healthy run.
+  std::uint64_t frames_auth_dropped = 0;
+  std::uint64_t frames_decode_dropped = 0;
+};
+
+class SocketNetwork {
+ public:
+  SocketNetwork(SocketNetConfig config, std::unique_ptr<sim::DelayModel> delay_model);
+  ~SocketNetwork();
+
+  SocketNetwork(const SocketNetwork&) = delete;
+  SocketNetwork& operator=(const SocketNetwork&) = delete;
+
+  /// Runs the LOCAL parties until each satisfies `finished` (and, in
+  /// multi-process mode, every remote party announced FIN) or the timeout
+  /// elapses. `parties` must have size n; non-local slots are never started.
+  /// Parties are borrowed, inspectable after run() returns (threads joined).
+  SocketNetStats run(std::vector<std::unique_ptr<sim::IParty>>& parties,
+                     const std::function<bool(const sim::IParty&, PartyId)>& finished);
+
+  /// Installs a fault injector consulted at socket egress for every message.
+  /// Borrowed: must outlive run(). Crash-windowed parties are excused by the
+  /// watchdog exactly as on the thread transport.
+  void set_fault_injector(faults::FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+
+ private:
+  class SocketEnv;
+  friend class SocketEnv;
+
+  void post(PartyId from, PartyId to, sim::Message msg);
+  void reader_loop(int fd, PartyId bound_from, PartyId local_to);
+  void writer_loop(PartyId from);
+  [[nodiscard]] Time now_ticks() const;
+  [[nodiscard]] std::chrono::steady_clock::time_point tick_deadline(Time at) const;
+  [[nodiscard]] bool is_local(PartyId id) const { return local_mask_[id]; }
+
+  SocketNetConfig config_;
+  std::unique_ptr<sim::DelayModel> delay_model_;
+  faults::FaultInjector* injector_ = nullptr;
+  std::mutex delay_mutex_;
+  Rng delay_rng_;
+
+  std::vector<bool> local_mask_;
+  std::vector<std::string> endpoints_;
+  std::string auto_tmpdir_;  ///< self-assigned uds dir, cleaned up at exit
+
+  /// Inbound delivery queues (local parties only; same Mailbox as the thread
+  /// transport). Tie-breaks come from one arrival counter shared by socket
+  /// ingress and self-posts.
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::atomic<std::uint64_t> arrival_seq_{0};
+
+  /// Per local party, the deadline-ordered egress queue its writer drains.
+  /// Item convention (writer queues only): `from` holds the DESTINATION,
+  /// `cause` the send id. FIN frames bypass these queues — the watchdog
+  /// writes them directly, serialized with the writer by the link mutex.
+  std::vector<std::unique_ptr<Mailbox>> out_queues_;
+
+  /// out_fds_[from * n + to]: connected socket for the from->to link
+  /// (local `from` only; -1 elsewhere). Writes are serialized by
+  /// link_mutexes_[from * n + to] (writer thread + watchdog FINs).
+  std::vector<int> out_fds_;
+  std::vector<std::unique_ptr<std::mutex>> link_mutexes_;
+  std::vector<int> listen_fds_;
+  std::mutex conn_mutex_;  ///< guards conn_fds_ and conn_threads_
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+
+  std::vector<std::atomic<bool>> fin_received_;
+  std::atomic<std::uint64_t> auth_dropped_{0};
+  std::atomic<std::uint64_t> decode_dropped_{0};
+  std::atomic<bool> stop_{false};
+
+  std::chrono::steady_clock::time_point epoch_;
+  net::ConcurrentEgressPipeline pipeline_;
+};
+
+}  // namespace hydra::transport

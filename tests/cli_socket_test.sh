@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# CLI-level socket backend coverage, driven by ctest (label "socket"):
+#
+#   1. `hydra run --backend=<unknown>` fails fast with an actionable error
+#      naming every registered backend.
+#   2. Single-process `hydra run --backend=tcp` on the 4-party hybrid spec
+#      passes under strict monitors (the ISSUE acceptance run).
+#   3. A real 4-process `hydra serve`/`join` deployment over UDS: one party
+#      per process, fixed socket paths, every process must exit 0.
+#
+# Usage: cli_socket_test.sh /path/to/hydra
+set -u
+
+HYDRA="${1:?usage: cli_socket_test.sh /path/to/hydra}"
+FAILURES=0
+
+fail() {
+  echo "FAIL: $*" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+TMPDIR_ROOT="$(mktemp -d /tmp/hydra-cli-socket-XXXXXX)"
+trap 'rm -rf "$TMPDIR_ROOT"' EXIT
+
+# --- 1. unknown backend: exit 2 + actionable message -----------------------
+ERR="$TMPDIR_ROOT/unknown.err"
+"$HYDRA" run --backend=bogus --n 4 --ts 1 --ta 1 --dim 1 2>"$ERR"
+STATUS=$?
+[ "$STATUS" -eq 2 ] || fail "unknown backend: expected exit 2, got $STATUS"
+grep -q 'unknown backend "bogus"' "$ERR" || fail "unknown backend: error does not name the rejected value: $(cat "$ERR")"
+grep -q 'registered backends:' "$ERR" || fail "unknown backend: error does not list alternatives"
+for name in sim threads tcp uds; do
+  grep -q "$name" "$ERR" || fail "unknown backend: error does not offer '$name'"
+done
+
+# --- 2. single-process tcp acceptance run ----------------------------------
+if ! "$HYDRA" run --backend=tcp --n 4 --ts 1 --ta 1 --dim 1 \
+    --adversary none --corrupt 0 --network sync-worst \
+    --monitors strict --seed 1 >"$TMPDIR_ROOT/tcp.out" 2>&1; then
+  fail "single-process --backend=tcp run failed: $(cat "$TMPDIR_ROOT/tcp.out")"
+fi
+
+# --- 3. four-process serve/join over UDS -----------------------------------
+PEERS="$TMPDIR_ROOT/p0.sock,$TMPDIR_ROOT/p1.sock,$TMPDIR_ROOT/p2.sock,$TMPDIR_ROOT/p3.sock"
+SPEC="--peers $PEERS --backend uds --ts 1 --ta 1 --dim 1 \
+      --adversary none --corrupt 0 --network sync-worst --seed 1"
+PIDS=()
+for party in 0 1 2 3; do
+  CMD=join
+  [ "$party" -eq 0 ] && CMD=serve  # same code path; exercise both spellings
+  # shellcheck disable=SC2086
+  "$HYDRA" "$CMD" --party "$party" $SPEC \
+      >"$TMPDIR_ROOT/party$party.out" 2>&1 &
+  PIDS+=($!)
+done
+for party in 0 1 2 3; do
+  if ! wait "${PIDS[$party]}"; then
+    fail "serve/join: party $party exited nonzero: $(cat "$TMPDIR_ROOT/party$party.out")"
+  fi
+done
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES failure(s)" >&2
+  exit 1
+fi
+echo "cli_socket_test: all checks passed"

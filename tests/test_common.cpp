@@ -234,6 +234,72 @@ TEST(Serialize, MalformedLengthPrefixDoesNotOverread) {
   EXPECT_FALSE(r.ok());
 }
 
+// Regression: length prefixes near UINT32_MAX must fail via ok(), never by
+// forming `pos_ + len` (which wraps on 32-bit size_t and would pass a naive
+// bounds check, handing back a span into unowned memory). One case per
+// prefixed reader, each with the cursor mid-buffer so pos_ > 0.
+TEST(Serialize, AdversarialLengthPrefixBytes) {
+  for (const std::uint32_t len :
+       {0xFFFFFFFFu, 0xFFFFFFFEu, 0xFFFFFFF0u, 0x80000000u}) {
+    Writer w;
+    w.u8(7);      // advance the cursor: overflow needs pos_ + len, not len
+    w.u32(len);   // claimed size, vastly beyond the buffer
+    w.u8(0xAB);   // one actual byte behind the lying prefix
+    Reader r(w.data());
+    EXPECT_EQ(r.u8(), 7u);
+    const Bytes b = r.bytes();
+    EXPECT_TRUE(b.empty()) << "len=" << len;
+    EXPECT_FALSE(r.ok()) << "len=" << len;
+  }
+}
+
+TEST(Serialize, AdversarialLengthPrefixStr) {
+  Writer w;
+  w.u64(42);
+  w.u32(0xFFFFFFFF);
+  Reader r(w.data());
+  EXPECT_EQ(r.u64(), 42u);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialize, AdversarialLengthPrefixF64Vec) {
+  // Element counts where len * 8 overflows 32-bit size_t: the cap check must
+  // reject them before any multiplication is formed.
+  for (const std::uint32_t len : {0xFFFFFFFFu, 0x20000001u, 0x40000000u}) {
+    Writer w;
+    w.u32(len);
+    w.f64(1.0);
+    Reader r(w.data());
+    EXPECT_TRUE(r.f64_vec().empty()) << "len=" << len;
+    EXPECT_FALSE(r.ok()) << "len=" << len;
+  }
+}
+
+TEST(Serialize, LengthPrefixExactlyRemainingIsAccepted) {
+  // Boundary sanity for the overflow-safe rewrite: a prefix equal to the
+  // exact remaining byte count still decodes (off-by-one guard).
+  Writer w;
+  w.bytes(Bytes{1, 2, 3});
+  Reader r(w.data());
+  EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Serialize, FailedReaderStaysFailed) {
+  // ok_ is sticky: after a lying prefix every later read returns zero values
+  // and the reader never "recovers" into trusting the stream again.
+  Writer w;
+  w.u32(0xFFFFFFFF);
+  w.u32(5);
+  Reader r(w.data());
+  (void)r.bytes();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u32(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
 TEST(Serialize, EmptyContainers) {
   Writer w;
   w.str("");

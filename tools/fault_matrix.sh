@@ -10,10 +10,12 @@
 #   ./tools/fault_matrix.sh [path-to-hydra] [seeds] [backend] [filter]
 #
 # backend selects the execution backend (sim default; threads runs the same
-# cells on the wall-clock transport). filter is a substring match on
+# cells on the wall-clock transport, tcp/uds on the socket transport with
+# every non-self message crossing the OS). filter is a substring match on
 # "protocol/network/adversary" so CI can run an affordable slice, e.g.:
 #
 #   ./tools/fault_matrix.sh ./build/tools/hydra 2 threads hybrid/sync-jitter
+#   ./tools/fault_matrix.sh ./build/tools/hydra 2 tcp hybrid/sync-jitter
 set -u
 
 HYDRA="${1:-./build/tools/hydra}"

@@ -3,6 +3,12 @@
 //   hydra run    [options]    execute one run, print the verdict and metrics
 //   hydra sweep  [options]    execute --seeds runs (in parallel), print the
 //                             pass rate
+//   hydra serve  [options]    host a subset of parties over real sockets and
+//                             wait for the peers (multi-process deployment;
+//                             docs/DEPLOYMENT.md)
+//   hydra join   [options]    alias of serve (same handshake; "serve" reads
+//                             naturally for the first process, "join" for
+//                             the rest)
 //   hydra report [options]    render a trace (+ metrics) into a readable
 //                             report (markdown or single-file HTML)
 //   hydra perf   [options]    measure the geometry kernels (ns/point) or
@@ -20,10 +26,26 @@
 //   --scale 10 --seed 1 --seeds 20 --aggregation midpoint|centroid
 //
 // Execution backend (src/net/; docs/ARCHITECTURE.md):
-//   --backend sim|threads sim (default) is the deterministic discrete-event
+//   --backend sim|threads|tcp|uds
+//                         sim (default) is the deterministic discrete-event
 //                         simulator; threads runs one OS thread per party
-//                         under wall-clock time through the same delivery
-//                         pipeline (verdicts judged identically)
+//                         under wall-clock time; tcp/uds run the socket
+//                         transport, every non-self message crossing the OS
+//                         as a length-prefixed frame (full mesh over
+//                         loopback/tmpdir when single-process). All through
+//                         the same delivery pipeline (verdicts judged
+//                         identically)
+//
+// hydra serve/join options (docs/DEPLOYMENT.md):
+//   --party I[,J...]      the parties THIS process hosts (required)
+//   --peers A0,...,A(n-1) every party's endpoint, in PartyId order
+//                         (required; "host:port" for tcp, socket paths for
+//                         uds); n is taken from this list
+//   --listen ADDR         overrides this process's own entry in --peers
+//                         (single --party only), e.g. to bind 0.0.0.0
+//   plus any run option; --backend defaults to tcp here. Every process must
+//   be started with the same spec (n, ts, ta, dim, seed, protocol, ...) —
+//   inputs are a pure function of it. Exit status judges the LOCAL parties.
 //
 // Fault injection (docs/ROBUSTNESS.md):
 //   --faults SPEC         semicolon-separated clauses, e.g.
@@ -108,15 +130,22 @@ struct Options {
   std::uint64_t seeds = 20;
   std::size_t jobs = 0;  ///< sweep workers; 0 = hardware concurrency
   std::string sweep_json;
+  // serve/join (socket deployment) options.
+  std::vector<PartyId> local_parties;   ///< --party
+  std::vector<std::string> peers;       ///< --peers, one endpoint per party
+  std::string listen;                   ///< --listen override for own entry
+  bool n_given = false;
+  bool backend_given = false;
 };
 
 [[noreturn]] void usage(const char* error = nullptr) {
   if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
   std::fprintf(stderr,
-               "usage: hydra <run|sweep|report|perf|list> [--key value | --key=value ...]\n"
+               "usage: hydra <run|sweep|serve|join|report|perf|list> [--key value | --key=value ...]\n"
                "keys: n ts ta dim eps delta protocol network adversary corrupt\n"
                "      workload scale seed seeds aggregation jobs sweep-json\n"
                "      trace-out metrics-json perf-json log-level monitors faults backend\n"
+               "serve/join keys: party peers listen (docs/DEPLOYMENT.md)\n"
                "report keys: trace metrics out format title\n"
                "perf keys: json baseline budget input top\n"
                "run `hydra list` for accepted values.\n");
@@ -184,6 +213,8 @@ Options parse(int argc, char** argv) {
     if (it == kv.end()) return fallback;
     return static_cast<decltype(fallback)>(std::strtod(it->second.c_str(), nullptr));
   };
+  opts.n_given = kv.count("n") > 0;
+  opts.backend_given = kv.count("backend") > 0;
   spec.params.n = num("n", spec.params.n);
   spec.params.ts = num("ts", spec.params.ts);
   spec.params.ta = num("ta", spec.params.ta);
@@ -239,10 +270,33 @@ Options parse(int argc, char** argv) {
   if (const auto it = kv.find("backend"); it != kv.end()) {
     const auto names = backend_names();
     if (std::find(names.begin(), names.end(), it->second) == names.end()) {
-      usage("unknown backend (run `hydra list`)");
+      // Actionable: name the rejected value AND every value that would work.
+      std::string msg = "unknown backend \"" + it->second + "\"; registered backends:";
+      for (const auto& name : names) msg += " " + name;
+      usage(msg.c_str());
     }
     spec.backend = it->second;
   }
+  // serve/join deployment keys (ignored by run/sweep).
+  const auto split_commas = [](const std::string& s) {
+    std::vector<std::string> out;
+    std::string token;
+    std::istringstream in(s);
+    while (std::getline(in, token, ',')) out.push_back(token);
+    return out;
+  };
+  if (const auto it = kv.find("party"); it != kv.end()) {
+    for (const auto& token : split_commas(it->second)) {
+      char* end = nullptr;
+      const unsigned long id = std::strtoul(token.c_str(), &end, 10);
+      if (end == token.c_str() || *end != '\0') usage("bad --party list");
+      opts.local_parties.push_back(static_cast<PartyId>(id));
+    }
+  }
+  if (const auto it = kv.find("peers"); it != kv.end()) {
+    opts.peers = split_commas(it->second);
+  }
+  if (const auto it = kv.find("listen"); it != kv.end()) opts.listen = it->second;
   if (const auto it = kv.find("faults"); it != kv.end()) {
     std::string error;
     const auto plan = faults::parse_fault_plan(it->second, &error);
@@ -297,6 +351,12 @@ int cmd_run(const Options& opts) {
                                   ? "YES"
                                   : "YES: " + result.timeout_detail});
     }
+    if (opts.spec.backend == "tcp" || opts.spec.backend == "uds") {
+      // Hardened-ingress counters: nonzero means a peer sent frames that
+      // failed the authenticated-sender or decode checks.
+      table.row({"frames auth-dropped", fmt(result.frames_auth_dropped)});
+      table.row({"frames decode-dropped", fmt(result.frames_decode_dropped)});
+    }
   }
   if (!opts.spec.faults.empty()) {
     table.row({"faults", opts.spec.faults});
@@ -320,6 +380,38 @@ int cmd_run(const Options& opts) {
     }
   }
   return result.verdict.d_aa() && result.monitor_violations == 0 ? 0 : 1;
+}
+
+/// serve/join: host --party over real sockets, peers named by --peers. One
+/// spec, many processes — each judges (and exits by) its LOCAL parties only.
+int cmd_serve(Options opts) {
+  auto& spec = opts.spec;
+  if (opts.local_parties.empty()) usage("serve/join requires --party I[,J...]");
+  if (opts.peers.empty()) usage("serve/join requires --peers A0,...,A(n-1)");
+  if (opts.n_given && opts.peers.size() != spec.params.n) {
+    usage("--peers must list exactly n endpoints (or omit --n)");
+  }
+  spec.params.n = opts.peers.size();
+  if (!opts.backend_given) spec.backend = "tcp";
+  if (spec.backend != "tcp" && spec.backend != "uds") {
+    usage("serve/join requires a socket backend (tcp or uds)");
+  }
+  for (const PartyId id : opts.local_parties) {
+    if (id >= spec.params.n) usage("--party id >= n (the --peers count)");
+  }
+  if (!opts.listen.empty()) {
+    if (opts.local_parties.size() != 1) {
+      usage("--listen needs exactly one --party (it overrides one endpoint)");
+    }
+    opts.peers[opts.local_parties.front()] = opts.listen;
+  }
+  spec.socket_endpoints = opts.peers;
+  spec.socket_local = opts.local_parties;
+  if (spec.protocol == Protocol::kHybrid && !spec.params.feasible()) {
+    usage("params violate (D+1) ts + ta < n (or n <= 3 ts) for the --peers count");
+  }
+  if (spec.corruptions >= spec.params.n) usage("corrupt must be < n");
+  return cmd_run(opts);
 }
 
 /// "t.jsonl" -> "t.s7.jsonl"; extensionless paths get the suffix appended.
@@ -554,5 +646,6 @@ int main(int argc, char** argv) {
   const auto opts = parse(argc, argv);
   if (command == "run") return cmd_run(opts);
   if (command == "sweep") return cmd_sweep(opts);
+  if (command == "serve" || command == "join") return cmd_serve(opts);
   usage("unknown command");
 }
