@@ -21,6 +21,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prof.hpp"
+#include "obs/stats.hpp"
 #include "obs/trace.hpp"
 #include "protocols/aa.hpp"
 #include "protocols/aa_iteration.hpp"
@@ -156,6 +157,75 @@ std::size_t async_mh_ta(const Params& p) {
   return std::min(p.ts, p.n - (p.dim + 1) * p.ts - 1);
 }
 
+/// Run identity for cross-process trace stitching: a hash over exactly the
+/// spec fields that every serve/join process of one distributed run shares
+/// (backend name included — it is identical across the processes of a run —
+/// but NOT socket_local/trace paths, which legitimately differ). The merge
+/// tool refuses to stitch traces whose run_ids disagree.
+std::uint64_t spec_run_id(const RunSpec& spec) {
+  std::string s = to_string(spec.protocol) + '|' + to_string(spec.network) +
+                  '|' + to_string(spec.adversary) + '|' +
+                  to_string(spec.workload) + '|' +
+                  std::to_string(spec.workload_scale) + '|' +
+                  std::to_string(spec.corruptions) + '|' +
+                  std::to_string(spec.params.n) + '|' +
+                  std::to_string(spec.params.ts) + '|' +
+                  std::to_string(spec.params.ta) + '|' +
+                  std::to_string(spec.params.dim) + '|' +
+                  std::to_string(spec.params.eps) + '|' +
+                  std::to_string(spec.params.delta) + '|' +
+                  std::to_string(spec.seed) + '|' + spec.faults + '|' +
+                  spec.backend;
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// The `meta` trace header: everything obs/merge.cpp needs to check that a
+/// set of per-process traces belongs to one run and to rebuild the exact
+/// MonitorHost configuration for the post-hoc global re-evaluation. Field
+/// values mirror make_monitor_config's resolution (ta clamping, contraction
+/// gating, budget selection) so the re-run judges with the live monitors'
+/// parameters, not the raw spec's.
+std::string meta_line(const RunSpec& spec,
+                      const std::optional<obs::MonitorHost::Config>& cfg,
+                      std::uint32_t proc, const std::vector<bool>& honest) {
+  const Params& p = spec.params;
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("ev", "meta");
+  w.kv("schema", "hydra-trace-v1");
+  if (proc != 0) w.kv("proc", std::uint64_t{proc});
+  w.kv("run_id", spec_run_id(spec));
+  w.kv("seed", spec.seed);
+  w.kv("n", std::uint64_t{p.n});
+  w.kv("ts", std::uint64_t{p.ts});
+  w.kv("ta", std::uint64_t{cfg.has_value() ? cfg->ta : p.ta});
+  w.kv("dim", std::uint64_t{p.dim});
+  w.kv("eps", p.eps);
+  w.kv("mode", obs::to_string(spec.monitors));
+  w.kv("contraction", cfg.has_value() ? cfg->contraction_factor : 0.0);
+  w.kv("hull_tol", cfg.has_value() ? cfg->hull_tol : 0.0);
+  w.kv("msgs_fixed", cfg.has_value() ? cfg->budget.msgs_fixed : 0);
+  w.kv("msgs_per_it", cfg.has_value() ? cfg->budget.msgs_per_iteration : 0);
+  w.kv("bytes_fixed", cfg.has_value() ? cfg->budget.bytes_fixed : 0);
+  w.kv("bytes_per_it", cfg.has_value() ? cfg->budget.bytes_per_iteration : 0);
+  w.key("honest");
+  w.begin_array();
+  for (const bool h : honest) w.value(std::uint64_t{h ? 1u : 0u});
+  w.end_array();
+  w.key("local");
+  w.begin_array();
+  for (const PartyId id : spec.socket_local) w.value(std::uint64_t{id});
+  w.end_array();
+  w.kv("backend", spec.backend);
+  w.end_object();
+  return w.take();
+}
+
 /// The per-run metrics snapshot: spec echo, verdict, totals, per-party and
 /// per-round communication, the diameter-contraction series (the empirical
 /// side of the paper's convergence lemmas), round-latency summary, and the
@@ -275,6 +345,32 @@ void write_metrics_json(const RunSpec& spec, const RunResult& result,
                  });
   w.end_object();
 
+  // Socket-transport link health; omitted entirely when all-zero so
+  // sim/threads metrics stay byte-identical to previous releases. Contains
+  // arrays, so flat-object readers must use the array-aware parser
+  // (obs/flatjson.hpp parse_object_arrays).
+  const net::TransportHealth& th = result.transport_health;
+  if (th.any()) {
+    w.key("transport_health");
+    w.begin_object();
+    w.kv("connect_attempts", th.connect_attempts);
+    w.kv("connects", th.connects);
+    w.kv("accepts", th.accepts);
+    w.kv("frames_sent", th.frames_sent);
+    w.kv("frames_received", th.frames_received);
+    w.kv("egress_hwm", th.egress_hwm);
+    w.kv("mailbox_hwm", th.mailbox_hwm);
+    const auto bucket_array = [&w](std::string_view name, const auto& buckets) {
+      w.key(name);
+      w.begin_array();
+      for (const auto b : buckets) w.value(std::uint64_t{b});
+      w.end_array();
+    };
+    bucket_array("flush_ns_buckets", th.flush_ns_buckets);
+    bucket_array("frame_bytes_buckets", th.frame_bytes_buckets);
+    w.end_object();
+  }
+
   // Under an installed per-run context this is the run's own registry.
   w.key("registry");
   w.raw(obs::registry().to_json());
@@ -340,10 +436,12 @@ void write_perf_json(const RunSpec& spec, const obs::Profiler& profiler) {
 class ObsSession {
  public:
   ObsSession(const RunSpec& spec,
-             std::optional<obs::MonitorHost::Config> monitor_config) {
+             std::optional<obs::MonitorHost::Config> monitor_config,
+             std::uint32_t proc) {
     if (!spec.trace_out.empty()) {
       sink_ = std::make_unique<obs::TraceSink>(spec.trace_out);
       if (!sink_->ok()) sink_.reset();
+      if (sink_ != nullptr) sink_->set_proc(proc);
     }
     if (monitor_config.has_value()) {
       monitors_ = std::make_unique<obs::MonitorHost>(std::move(*monitor_config));
@@ -351,10 +449,19 @@ class ObsSession {
     if (!spec.perf_out.empty()) {
       profiler_ = std::make_unique<obs::Profiler>();
     }
+    if (!spec.stats_out.empty()) {
+      stats_ = std::make_unique<obs::StatsPublisher>(
+          spec.stats_out, spec.stats_interval_ms, proc);
+      if (!stats_->ok()) stats_.reset();
+    }
     ctx_.registry = &registry_;
     ctx_.trace_sink = sink_.get();
     ctx_.monitors = monitors_.get();
     ctx_.profiler = profiler_.get();
+    // Live telemetry is a side channel, not trace instrumentation: backends
+    // look it up once at run start (obs::stats()), so it neither needs nor
+    // sets the per-event enabled flag.
+    ctx_.stats = stats_.get();
     // Profiling counts as observability: the full phase tree includes scopes
     // (net.egress, net.deliver) that live on enabled-only paths.
     ctx_.enabled = sink_ != nullptr || !spec.metrics_out.empty() ||
@@ -368,6 +475,7 @@ class ObsSession {
 
   ~ObsSession() {
     scoped_.reset();  // restore the caller's context before the sink dies
+    if (stats_ != nullptr) stats_->stop();  // final heartbeat + flush
     if (sink_ != nullptr) sink_->flush();
   }
 
@@ -387,6 +495,7 @@ class ObsSession {
   std::unique_ptr<obs::TraceSink> sink_;
   std::unique_ptr<obs::MonitorHost> monitors_;
   std::unique_ptr<obs::Profiler> profiler_;
+  std::unique_ptr<obs::StatsPublisher> stats_;
   obs::Context ctx_;
   std::optional<obs::ScopedContext> scoped_;
 };
@@ -560,8 +669,33 @@ RunResult execute(const RunSpec& spec) {
   HYDRA_ASSERT_MSG(!honest_inputs.empty(),
                    "corruptions + fault-plan crashes leave no honest party");
 
-  const ObsSession obs_session(spec,
-                               make_monitor_config(spec, honest_mask, honest_inputs));
+  // The process's trace identity: 0 for single-process runs (the proc key is
+  // suppressed and the trace keeps its historical shape), 1 + min(local
+  // party) for serve/join processes — unique because their party sets are
+  // disjoint (obs/merge.hpp).
+  const std::uint32_t proc =
+      spec.socket_local.empty()
+          ? 0u
+          : 1u + *std::min_element(spec.socket_local.begin(),
+                                   spec.socket_local.end());
+  auto monitor_config = make_monitor_config(spec, honest_mask, honest_inputs);
+  const std::string meta = meta_line(spec, monitor_config, proc, honest_mask);
+  const ObsSession obs_session(spec, std::move(monitor_config), proc);
+
+  if (auto* tr = obs::trace()) {
+    // The merge substrate header: the meta line first, then the exact input
+    // vector of every party this process hosts (%.17g — the merged validity
+    // re-check rebuilds the global honest-input hull bit-for-bit).
+    tr->raw_line(meta);
+    for (PartyId id = 0; id < p.n; ++id) {
+      if (!spec.socket_local.empty() &&
+          std::find(spec.socket_local.begin(), spec.socket_local.end(), id) ==
+              spec.socket_local.end()) {
+        continue;
+      }
+      tr->input(0, id, honest_mask[id], inputs[id].coords());
+    }
+  }
 
   // One code path for every backend: build the net::Backend named by the
   // spec ("sim" = deterministic discrete-event simulator, "threads" = real
@@ -705,13 +839,14 @@ RunResult execute(const RunSpec& spec) {
     result.fault_dups = totals.duplicated;
     result.fault_delays = totals.delayed;
   }
+  // Totality can only be judged on a quiescent run: the simulator drains
+  // its queue unless truncated (limit or strict abort), while the thread
+  // backend shuts down the moment every party finished and may legally
+  // leave in-flight ΠrBC echoes undelivered. The trace `end` marker carries
+  // the same flag so merged-trace re-evaluation makes the same call.
+  const bool quiescent = spec.backend == "sim" && !stats.hit_limit &&
+                         !stats.monitor_aborted;
   if (auto* mon = obs_session.monitors()) {
-    // Totality can only be judged on a quiescent run: the simulator drains
-    // its queue unless truncated (limit or strict abort), while the thread
-    // backend shuts down the moment every party finished and may legally
-    // leave in-flight ΠrBC echoes undelivered.
-    const bool quiescent = spec.backend == "sim" && !stats.hit_limit &&
-                           !stats.monitor_aborted;
     mon->finalize(stats.end_time, quiescent);
     result.violations = mon->violations();
     result.monitor_violations = mon->total_violations();
@@ -737,6 +872,7 @@ RunResult execute(const RunSpec& spec) {
   result.timeout_detail = stats.timeout_detail;
   result.frames_auth_dropped = stats.frames_auth_dropped;
   result.frames_decode_dropped = stats.frames_decode_dropped;
+  result.transport_health = stats.health;
 
   std::vector<geo::Vec> outputs;
   std::size_t expected = 0;
@@ -805,6 +941,12 @@ RunResult execute(const RunSpec& spec) {
                    static_cast<unsigned long long>(spec.seed),
                    result.verdict.d_aa() ? "ok" : "FAIL",
                    static_cast<unsigned long long>(result.messages), result.rounds);
+    if (auto* tr = obs::trace()) {
+      // Clean end-of-trace marker, always the sink's last event: a killed
+      // serve/join process never reaches this line, which is how the merge
+      // tool distinguishes a finished island from a truncated one.
+      tr->end(/*complete=*/!stats.timed_out, quiescent);
+    }
   }
   return result;
 }

@@ -118,6 +118,16 @@ struct RunSpec {
   /// simulator backend.
   std::string perf_out;
 
+  /// Live telemetry: append "hydra-stats-v1" JSONL heartbeats (per-party
+  /// progress, wire totals, queue depths) every `stats_interval_ms` to
+  /// `stats_out` while the run executes, with a guaranteed final snapshot on
+  /// shutdown. "" = off. Heartbeats carry wall-clock timestamps and are NOT
+  /// deterministic — they are a side channel like perf_out, never part of
+  /// the trace/metrics determinism contract. `hydra top` renders the file
+  /// live (docs/OBSERVABILITY.md, "Distributed runs").
+  std::string stats_out;
+  std::int64_t stats_interval_ms = 1000;
+
   /// Online invariant monitors (obs/monitor.hpp; docs/OBSERVABILITY.md).
   /// kRecord checks the paper's per-round invariants live and records
   /// violations in RunResult; kStrict additionally aborts the run on the
@@ -175,6 +185,12 @@ struct RunResult {
   /// every healthy run (and always zero on sim/threads).
   std::uint64_t frames_auth_dropped = 0;
   std::uint64_t frames_decode_dropped = 0;
+  /// Socket backends only: per-process link health — connect/accept
+  /// counters, writer flush-latency and frame-size histograms, queue
+  /// high-water marks. All-zero (health.any() false) on sim/threads; the
+  /// metrics JSON gets a "transport_health" block only when nonzero, so
+  /// simulator metrics stay byte-identical.
+  net::TransportHealth transport_health;
 };
 
 /// Registers the builtin execution backends ("sim", "threads", "tcp",

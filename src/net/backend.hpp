@@ -76,6 +76,9 @@ struct BackendStats {
   /// and frames dropped by the hardened decode path (framing/parse errors).
   std::uint64_t frames_auth_dropped = 0;
   std::uint64_t frames_decode_dropped = 0;
+  /// Socket backends only: connection/link health counters and latency/size
+  /// histograms (all-zero — health.any() false — on sim/threads).
+  TransportHealth health;
 };
 
 class Backend {

@@ -75,11 +75,30 @@ struct Egress {
   std::uint32_t copies = 0;  ///< 0 = dropped (crashed endpoint); 1; 2 = dup
   std::array<Duration, 2> delay{};     ///< [0] primary, [1] duplicate copy
   std::array<std::uint64_t, 2> seq{};  ///< queue tie-breaks (eager_ids mode)
-  /// Trace send-event id (1-based). A duplicate shares the original's id:
-  /// one `send` event, two `deliver`s with the same cause. 0 = none
-  /// allocated (lazy mode with observability off).
+  /// Trace send-event id: compose_send_id(from, counter) — globally unique
+  /// across PROCESSES, not just within a run, because the high bits carry
+  /// the origin party and serve/join processes host disjoint party sets.
+  /// That is what lets a remote deliver's `cause` (shipped in the MSG frame)
+  /// resolve against the origin's trace with no id translation when
+  /// per-process traces are stitched (obs/merge.hpp). A duplicate shares the
+  /// original's id: one `send` event, two `deliver`s with the same cause.
+  /// 0 = none allocated (lazy mode with observability off).
   std::uint64_t send_id = 0;
 };
+
+/// Send-id layout: (from + 1) in the high 32 bits, a 1-based per-pipeline
+/// counter in the low 32. The +1 keeps the high word nonzero, so 0 can stay
+/// the "no id" sentinel everywhere. The low word wrapping would need 2^32
+/// sends from one pipeline — beyond any supported run length.
+[[nodiscard]] constexpr std::uint64_t compose_send_id(
+    PartyId from, std::uint64_t counter) noexcept {
+  return ((std::uint64_t{from} + 1) << 32) | (counter & 0xffffffffull);
+}
+
+/// The origin party encoded in a send id (send ids are never 0).
+[[nodiscard]] constexpr PartyId send_id_party(std::uint64_t id) noexcept {
+  return static_cast<PartyId>((id >> 32) - 1);
+}
 
 namespace detail {
 
@@ -150,7 +169,7 @@ class BasicEgressPipeline {
       // A dropped message still consumes a sequence number, keeping the id
       // stream a pure function of the post order under any fault plan.
       out.seq[0] = ids_.fetch_add_one();
-      out.send_id = out.seq[0] + 1;
+      out.send_id = compose_send_id(from, out.seq[0] + 1);
       if (out.copies == 2) out.seq[1] = ids_.fetch_add_one();
     }
     // Disabled hot path ends here: one obs::enabled() load and nothing else.
@@ -190,7 +209,9 @@ class BasicEgressPipeline {
   void observe(PartyId from, PartyId to, const sim::Message& msg, Time now,
                Egress& out, bool injected, const char* drop_reason) {
     HYDRA_PROF_SCOPE("net.egress");
-    if (!config_.eager_ids) out.send_id = ids_.fetch_add_one() + 1;
+    if (!config_.eager_ids) {
+      out.send_id = compose_send_id(from, ids_.fetch_add_one() + 1);
+    }
     record(from, to, msg, now, out, injected, drop_reason);
   }
 

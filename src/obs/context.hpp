@@ -27,12 +27,17 @@ class Registry;
 class TraceSink;
 class MonitorHost;
 class Profiler;
+class StatsPublisher;
 
 struct Context {
   Registry* registry = nullptr;     ///< per-run registry; nullptr = global
   TraceSink* trace_sink = nullptr;  ///< per-run trace sink; may be null
   MonitorHost* monitors = nullptr;  ///< per-run invariant monitors; may be null
   Profiler* profiler = nullptr;     ///< per-run phase profiler; may be null
+  /// Live telemetry heartbeat publisher (obs/stats.hpp); may be null. Not on
+  /// any hot path: backends look it up once at run start to register their
+  /// snapshot provider, so the disabled cost is zero.
+  StatsPublisher* stats = nullptr;
   bool enabled = false;             ///< per-run master switch
   /// Safe-area numerical fallbacks during this run. Counted even when
   /// `enabled` is false (it is a correctness diagnostic, not a metric).
@@ -101,6 +106,13 @@ inline void set_enabled(bool on) noexcept {
 [[nodiscard]] inline MonitorHost* monitors() noexcept {
   const Context* ctx = detail::t_context;
   return ctx != nullptr ? ctx->monitors : nullptr;
+}
+
+/// The live-telemetry publisher for the current run, or nullptr. Strictly
+/// context-scoped, like monitors(); consulted once per run, never per event.
+[[nodiscard]] inline StatsPublisher* stats() noexcept {
+  const Context* ctx = detail::t_context;
+  return ctx != nullptr ? ctx->stats : nullptr;
 }
 
 /// True when a phase profiler is installed on this thread — a single

@@ -11,6 +11,7 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace hydra::obs::flatjson {
 
@@ -81,10 +82,122 @@ inline std::map<std::string, std::string> parse_flat_object(std::string_view lin
   return out;
 }
 
+/// Like parse_flat_object, but values that are arrays (possibly nested, e.g.
+/// the `v` coordinate lists and `pairs` of the merge-substrate trace events)
+/// are captured verbatim as their balanced "[...]" text. Strings inside
+/// arrays must not contain brackets — true for everything this library
+/// writes. Used by obs/merge.cpp and `hydra top`, which own both ends of the
+/// format; the flat-only parser above keeps its historical skip-on-surprise
+/// contract for callers that only understand flat lines.
+inline std::map<std::string, std::string> parse_object_arrays(
+    std::string_view line) {
+  std::map<std::string, std::string> out;
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  };
+  const auto parse_string = [&](std::string& into) -> bool {
+    if (i >= line.size() || line[i] != '"') return false;
+    ++i;
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\' && i + 1 < line.size()) {
+        ++i;
+        switch (line[i]) {
+          case 'n': into.push_back('\n'); break;
+          case 'r': into.push_back('\r'); break;
+          case 't': into.push_back('\t'); break;
+          case 'u':
+            if (i + 4 < line.size()) {
+              into.append("\\u").append(line.substr(i + 1, 4));
+              i += 4;
+            }
+            break;
+          default: into.push_back(line[i]);
+        }
+      } else {
+        into.push_back(line[i]);
+      }
+      ++i;
+    }
+    if (i >= line.size()) return false;
+    ++i;
+    return true;
+  };
+
+  skip_ws();
+  if (i >= line.size() || line[i] != '{') return {};
+  ++i;
+  while (true) {
+    skip_ws();
+    if (i < line.size() && line[i] == '}') break;
+    std::string key;
+    if (!parse_string(key)) return {};
+    skip_ws();
+    if (i >= line.size() || line[i] != ':') return {};
+    ++i;
+    skip_ws();
+    std::string value;
+    if (i < line.size() && line[i] == '"') {
+      if (!parse_string(value)) return {};
+    } else if (i < line.size() && line[i] == '[') {
+      int depth = 0;
+      do {
+        if (line[i] == '[') ++depth;
+        if (line[i] == ']') --depth;
+        value.push_back(line[i]);
+        ++i;
+      } while (i < line.size() && depth > 0);
+      if (depth != 0) return {};
+    } else {
+      while (i < line.size() && line[i] != ',' && line[i] != '}') {
+        value.push_back(line[i]);
+        ++i;
+      }
+    }
+    out.emplace(std::move(key), std::move(value));
+    skip_ws();
+    if (i < line.size() && line[i] == ',') {
+      ++i;
+      continue;
+    }
+    break;
+  }
+  return out;
+}
+
+/// Parses the numbers out of a (possibly nested) "[...]" capture from
+/// parse_object_arrays, in order, ignoring structure. For flat arrays this
+/// is the element list; callers needing nesting (obc `pairs`) re-split on
+/// the bracket structure themselves.
+inline std::vector<double> parse_reals(std::string_view array_text) {
+  std::vector<double> out;
+  std::size_t i = 0;
+  while (i < array_text.size()) {
+    const char c = array_text[i];
+    if ((c >= '0' && c <= '9') || c == '-' || c == '+') {
+      char* end = nullptr;
+      const std::string tail(array_text.substr(i));
+      out.push_back(std::strtod(tail.c_str(), &end));
+      i += static_cast<std::size_t>(end - tail.c_str());
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
 inline std::int64_t num(const std::map<std::string, std::string>& kv,
                         const char* key) {
   const auto it = kv.find(key);
   return it == kv.end() ? 0 : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+/// Unsigned variant of num(): required for full-range u64 values (fnv1a
+/// payload hashes, composed send ids), which strtoll would clamp.
+inline std::uint64_t unum(const std::map<std::string, std::string>& kv,
+                          const char* key) {
+  const auto it = kv.find(key);
+  return it == kv.end() ? 0 : std::strtoull(it->second.c_str(), nullptr, 10);
 }
 
 inline double real(const std::map<std::string, std::string>& kv, const char* key) {

@@ -1,0 +1,78 @@
+// Cross-process trace stitching and post-hoc global monitor re-evaluation.
+//
+// Each `hydra serve`/`join` process writes its own JSONL trace covering only
+// its local parties. merge_traces() stitches those per-process islands into
+// ONE causally ordered timeline and re-runs the global invariant monitors
+// over it, so a 4-process UDS run gets the same verdict/violation report a
+// single-process run gets (docs/OBSERVABILITY.md, "Distributed runs").
+//
+// What makes the stitch well-defined:
+//
+//   * identity    every event carries its process's `proc` tag
+//                 (TraceSink::set_proc = 1 + min(local parties); party sets
+//                 are disjoint, so tags are unique);
+//   * causality   send ids are globally unique by construction
+//                 (net::compose_send_id puts the origin party in the high
+//                 word) and travel on the wire in the MSG frame's `seq`, so
+//                 a remote `deliver`'s `cause` resolves against the origin's
+//                 trace with no translation;
+//   * substrate   the `meta` header event pins the run spec + monitor
+//                 config, `input` events carry exact (%.17g) local inputs,
+//                 and the monitor hooks trace `value`/`rbc`/`obc` events —
+//                 everything the global checks need, re-playable bit-exactly.
+//
+// Merge order: a k-way merge by (t, proc, file position) over the
+// per-process streams, with one causal constraint — a `deliver` whose
+// `cause` send exists in the input set is held back until that send has
+// been emitted (per-process clocks are not synchronized, so raw timestamps
+// alone may order an effect before its cause). The output is a pure
+// function of the input file CONTENTS: shuffling the path list or re-merging
+// yields byte-identical output (file streams are keyed by proc tag, not
+// argument position).
+//
+// Re-evaluation: when every process wrote a complete `end` marker, the
+// per-process `invariant.violation` lines are dropped (they judged a local
+// island; the global re-run supersedes them) and a fresh MonitorHost replays
+// the merged `send`/`value`/`rbc`/`obc` stream — validity over ALL honest
+// inputs, RBC/oBC consistency + overlap across processes, Thm 5.19 per-party
+// tallies over the full run — appending its violations to the merged
+// timeline. A killed process leaves no `end` marker: the merge still
+// succeeds (valid partial JSONL is kept, orphaned delivers are counted) but
+// keeps the local violation lines and skips the re-run, whose hull state
+// would be missing the dead process's values.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hydra::obs {
+
+struct MergeResult {
+  /// Merged JSONL: metas (by proc), events in merged order, re-evaluated
+  /// violations (complete runs), one synthesized `end` summary line.
+  std::string merged;
+  std::size_t files = 0;
+  std::size_t events = 0;   ///< events in the merged timeline (metas/end excl.)
+  std::size_t orphans = 0;  ///< delivers whose cause send never appeared
+  std::size_t skipped_lines = 0;  ///< unparseable lines (torn tails, junk)
+  bool complete = false;     ///< every process wrote end{complete:1}
+  bool reevaluated = false;  ///< global monitors re-ran over the merge
+  std::uint64_t violations = 0;  ///< global verdict (re-run when complete,
+                                 ///< surviving local lines otherwise)
+  std::map<std::string, std::uint64_t> violations_by_monitor;
+  /// Thm 5.19 per-party tallies from the re-run (index = PartyId; empty
+  /// when not re-evaluated).
+  std::vector<std::uint64_t> sent_msgs;
+  std::vector<std::uint64_t> sent_bytes;
+  /// Nonempty = merge failed; everything else is unspecified then.
+  std::string error;
+
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+};
+
+/// Stitches per-process traces (see above). `paths` order is irrelevant.
+[[nodiscard]] MergeResult merge_traces(const std::vector<std::string>& paths);
+
+}  // namespace hydra::obs

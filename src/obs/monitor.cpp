@@ -167,6 +167,13 @@ void MonitorHost::on_value(Time t, PartyId party, std::uint32_t iteration,
     if (it != obc_cause_.end()) cause = it->second;
   }
 
+  // Trace the adopted value with exact coordinates: the merged-trace
+  // re-evaluation (obs/merge.hpp) replays these through this same hook to
+  // re-check validity/contraction over ALL processes' honest values.
+  if (auto* tr = obs::trace()) {
+    tr->value(t, party, iteration, value.coords(), cause);
+  }
+
   // Validity: v_k must lie in the hull of the honest iteration-(k-1) values
   // seen so far (see the header for why "seen so far" is sound); v_0 against
   // the honest inputs.
@@ -227,13 +234,21 @@ void MonitorHost::on_value(Time t, PartyId party, std::uint32_t iteration,
 void MonitorHost::on_rbc_deliver(Time t, PartyId party, std::uint32_t tag,
                                  std::uint32_t a, std::uint32_t b,
                                  const Bytes& payload) {
+  on_rbc_digest(t, party, tag, a, b, fnv1a(payload));
+}
+
+void MonitorHost::on_rbc_digest(Time t, PartyId party, std::uint32_t tag,
+                                std::uint32_t a, std::uint32_t b,
+                                std::uint64_t payload_hash) {
   if (!is_honest(party)) return;
   const std::lock_guard lock(mutex_);
+  if (auto* tr = obs::trace()) {
+    tr->rbc(t, party, tag, a, b, payload_hash, current_cause_);
+  }
   auto& rec = rbc_[{tag, a, b}];
-  const std::uint64_t hash = fnv1a(payload);
   if (rec.delivered.empty()) {
-    rec.payload_hash = hash;
-  } else if (rec.payload_hash != hash) {
+    rec.payload_hash = payload_hash;
+  } else if (rec.payload_hash != payload_hash) {
     report(Violation{"rbc-consistency", party, b, t, current_cause_,
                      format("party %u delivered a different payload for rbc "
                             "instance (tag=%u, a=%u, b=%u)",
@@ -248,6 +263,16 @@ void MonitorHost::on_obc_output(
   if (!is_honest(party)) return;
   const std::lock_guard lock(mutex_);
   obc_cause_[{party, iteration}] = current_cause_;
+
+  if (auto* tr = obs::trace()) {
+    std::vector<std::pair<std::uint64_t, std::vector<double>>> flat;
+    flat.reserve(pairs.size());
+    for (const auto& [q, v] : pairs) {
+      flat.emplace_back(q, std::vector<double>(v.coords().begin(),
+                                               v.coords().end()));
+    }
+    tr->obc(t, party, iteration, flat, current_cause_);
+  }
 
   auto& iter = obc_[iteration];
   // Consistency: values in honest outputs agree per attributed party (they
@@ -308,6 +333,16 @@ std::uint64_t MonitorHost::count(std::string_view monitor) const {
   const std::lock_guard lock(mutex_);
   const auto it = by_monitor_.find(monitor);
   return it == by_monitor_.end() ? 0 : it->second;
+}
+
+std::vector<std::uint64_t> MonitorHost::sent_msgs_per_party() const {
+  const std::lock_guard lock(mutex_);
+  return sent_msgs_;
+}
+
+std::vector<std::uint64_t> MonitorHost::sent_bytes_per_party() const {
+  const std::lock_guard lock(mutex_);
+  return sent_bytes_;
 }
 
 }  // namespace hydra::obs

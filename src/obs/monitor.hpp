@@ -149,6 +149,13 @@ class MonitorHost {
   void on_rbc_deliver(Time t, PartyId party, std::uint32_t tag, std::uint32_t a,
                       std::uint32_t b, const Bytes& payload);
 
+  /// Digest-level form of on_rbc_deliver: the consistency/totality state is
+  /// keyed on the payload's fnv1a-64 hash, which is all the cross-process
+  /// trace carries. Used directly by merged-trace re-evaluation
+  /// (obs/merge.hpp); on_rbc_deliver hashes and forwards here.
+  void on_rbc_digest(Time t, PartyId party, std::uint32_t tag, std::uint32_t a,
+                     std::uint32_t b, std::uint64_t payload_hash);
+
   /// Party's iteration-`iteration` ΠoBC produced output set `pairs`.
   void on_obc_output(Time t, PartyId party, std::uint32_t iteration,
                      const std::vector<std::pair<PartyId, geo::Vec>>& pairs);
@@ -173,6 +180,13 @@ class MonitorHost {
 
   /// Violations attributed to one monitor name.
   [[nodiscard]] std::uint64_t count(std::string_view monitor) const;
+
+  /// Per-party Thm 5.19 complexity tallies as counted by on_send (index =
+  /// PartyId; zeros for corrupted slots). Snapshot under the hook mutex, so
+  /// safe to call while a run is live; merged-trace re-evaluation compares
+  /// these against the per-process monitors of the same run.
+  [[nodiscard]] std::vector<std::uint64_t> sent_msgs_per_party() const;
+  [[nodiscard]] std::vector<std::uint64_t> sent_bytes_per_party() const;
 
   [[nodiscard]] const Config& config() const noexcept { return config_; }
 

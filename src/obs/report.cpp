@@ -17,8 +17,10 @@ namespace {
 
 using flatjson::num;
 using flatjson::parse_flat_object;
+using flatjson::parse_object_arrays;
 using flatjson::real;
 using flatjson::str;
+using flatjson::unum;
 
 constexpr std::size_t kMaxViolationRows = 50;
 
@@ -305,6 +307,25 @@ void kv_table(Renderer& r, const std::map<std::string, std::string>& kv) {
   r.table({"key", "value"}, rows);
 }
 
+/// Nearest-rank percentile over a log2 histogram (bucket k covers
+/// [2^k, 2^(k+1))), reported at the bucket's geometric midpoint — the same
+/// approximation the phase-profile report uses, so the two read alike.
+double bucket_percentile(const std::vector<std::uint64_t>& buckets, double q) {
+  std::uint64_t total = 0;
+  for (const auto b : buckets) total += b;
+  if (total == 0) return 0.0;
+  const auto rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(total - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t k = 0; k < buckets.size(); ++k) {
+    seen += buckets[k];
+    if (seen >= rank) {
+      return static_cast<double>(std::uint64_t{1} << k) * 1.5;
+    }
+  }
+  return 0.0;
+}
+
 }  // namespace
 
 std::size_t render_report(std::istream& trace, const std::string& metrics_json,
@@ -314,6 +335,11 @@ std::size_t render_report(std::istream& trace, const std::string& metrics_json,
   const auto spec = parse_flat_object(extract_object(metrics_json, "spec"));
   const auto verdict = parse_flat_object(extract_object(metrics_json, "verdict"));
   const auto monitor = parse_flat_object(extract_object(metrics_json, "monitor"));
+  const auto totals = parse_flat_object(extract_object(metrics_json, "totals"));
+  // The transport_health block carries histogram arrays, so it needs the
+  // array-aware parser (the flat one bails on the first '[').
+  const std::string health_doc = extract_object(metrics_json, "transport_health");
+  const auto health = parse_object_arrays(health_doc);
 
   // The "progress" block (harness/runner.cpp) writes its scalars before its
   // numeric arrays, so truncating at the first array yields a flat object the
@@ -401,6 +427,53 @@ std::size_t render_report(std::istream& trace, const std::string& metrics_json,
     }
     r.table({"party", "finished", "crash-stopped", "events", "last progress (t)"},
             rows);
+  }
+
+  // Socket-link health: the hardened-ingress drop counters (totals block;
+  // nonzero means a peer sent frames that failed authentication or decode)
+  // plus the connection/frame/queue counters and latency histograms the
+  // socket transport exports (metrics "transport_health", socket runs only).
+  const std::uint64_t auth_dropped = unum(totals, "frames_auth_dropped");
+  const std::uint64_t decode_dropped = unum(totals, "frames_decode_dropped");
+  if (!health.empty() || auth_dropped != 0 || decode_dropped != 0) {
+    r.section("Transport health (socket links)");
+    r.para("Frames dropped by hardened ingress: " + std::to_string(auth_dropped) +
+           " auth (sender identity mismatch), " + std::to_string(decode_dropped) +
+           " decode (malformed/handshake reject)." +
+           (auth_dropped + decode_dropped > 0
+                ? " Nonzero drops on a healthy deployment indicate a"
+                  " misbehaving or mismatched peer."
+                : ""));
+    if (!health.empty()) {
+      r.table({"counter", "value"},
+              {{"connect attempts", std::to_string(unum(health, "connect_attempts"))},
+               {"connects", std::to_string(unum(health, "connects"))},
+               {"accepts (bound at HELLO)", std::to_string(unum(health, "accepts"))},
+               {"frames sent", std::to_string(unum(health, "frames_sent"))},
+               {"frames received", std::to_string(unum(health, "frames_received"))},
+               {"egress queue high-water", std::to_string(unum(health, "egress_hwm"))},
+               {"mailbox high-water", std::to_string(unum(health, "mailbox_hwm"))}});
+      const auto flush = parse_u64_array(health_doc, "flush_ns_buckets");
+      const auto sizes = parse_u64_array(health_doc, "frame_bytes_buckets");
+      std::vector<std::vector<std::string>> hist_rows;
+      const auto hist_row = [&](const char* name,
+                                const std::vector<std::uint64_t>& buckets,
+                                const char* unit) {
+        std::uint64_t count = 0;
+        for (const auto b : buckets) count += b;
+        if (count == 0) return;
+        hist_rows.push_back({name, std::to_string(count),
+                             fmt_double(bucket_percentile(buckets, 0.50)) + " " + unit,
+                             fmt_double(bucket_percentile(buckets, 0.95)) + " " + unit,
+                             fmt_double(bucket_percentile(buckets, 1.0)) + " " + unit});
+      };
+      hist_row("frame write latency", flush, "ns");
+      hist_row("frame body size", sizes, "B");
+      if (!hist_rows.empty()) {
+        r.para("Log2-bucket approximations (geometric bucket midpoints):");
+        r.table({"histogram", "samples", "~p50", "~p95", "~max"}, hist_rows);
+      }
+    }
   }
 
   r.section("Invariant violations");

@@ -45,6 +45,14 @@ class Mailbox {
     cv_.notify_one();
   }
 
+  /// Current depth, for telemetry gauges and high-water marks. Takes the
+  /// lock; callers poll it off the hot path (stats heartbeats, post-push
+  /// HWM updates), never inside pop_due.
+  [[nodiscard]] std::size_t size() {
+    const std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+
   void close() {
     {
       const std::lock_guard lock(mutex_);

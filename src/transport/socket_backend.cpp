@@ -49,6 +49,7 @@ class SocketBackend final : public net::Backend {
     out.timeout_detail = stats.timeout_detail;
     out.frames_auth_dropped = stats.frames_auth_dropped;
     out.frames_decode_dropped = stats.frames_decode_dropped;
+    out.health = stats.health;
     return out;
   }
 

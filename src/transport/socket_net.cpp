@@ -22,6 +22,7 @@
 #include "obs/context.hpp"
 #include "obs/monitor.hpp"
 #include "obs/prof.hpp"
+#include "obs/stats.hpp"
 #include "transport/socket_wire.hpp"
 
 namespace hydra::transport {
@@ -170,8 +171,12 @@ int listen_on(std::string& endpoint, bool uds) {
 
 /// Connects to `endpoint`, retrying until `deadline` — in multi-process mode
 /// peers come up at their own pace. Returns -1 once the deadline passes.
-int connect_retry(const std::string& endpoint, bool uds, Clock::time_point deadline) {
+/// Every dial (including retries) bumps `attempts`, so the health report
+/// shows how long peers kept each other waiting.
+int connect_retry(const std::string& endpoint, bool uds, Clock::time_point deadline,
+                  std::atomic<std::uint64_t>& attempts) {
   for (;;) {
+    attempts.fetch_add(1, std::memory_order_relaxed);
     int fd = -1;
     if (uds) {
       if (const auto addr = parse_uds(endpoint)) {
@@ -311,7 +316,10 @@ void SocketNetwork::post(PartyId from, PartyId to, sim::Message msg) {
     Mailbox::Item item{now + egress.delay[idx],
                        arrival_seq_.fetch_add(1, std::memory_order_relaxed),
                        egress.send_id, self ? from : to, std::move(m)};
-    (self ? mailboxes_[to] : out_queues_[from])->push(std::move(item));
+    Mailbox& box = self ? *mailboxes_[to] : *out_queues_[from];
+    box.push(std::move(item));
+    HealthAtomics::raise(self ? health_.mailbox_hwm : health_.egress_hwm,
+                         box.size());
   };
   if (egress.copies == 2) {
     sim::Message copy = msg;
@@ -320,6 +328,41 @@ void SocketNetwork::post(PartyId from, PartyId to, sim::Message msg) {
     return;
   }
   push_copy(0, std::move(msg));
+}
+
+bool SocketNetwork::send_frame(int fd, std::mutex& mutex, const Bytes& body) {
+  health_.frame_bytes_buckets[net::TransportHealth::bucket_of(body.size())]
+      .fetch_add(1, std::memory_order_relaxed);
+  // Flush latency is lock wait + kernel send() — under backpressure (full
+  // socket buffers) this is where the stall shows up, which is exactly what
+  // the histogram is for.
+  const auto t0 = Clock::now();
+  const bool ok = write_frame(fd, mutex, body);
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+  health_.flush_ns_buckets[net::TransportHealth::bucket_of(ns)].fetch_add(
+      1, std::memory_order_relaxed);
+  if (ok) health_.frames_sent.fetch_add(1, std::memory_order_relaxed);
+  return ok;
+}
+
+net::TransportHealth SocketNetwork::snapshot_health() const {
+  net::TransportHealth out;
+  out.connect_attempts = health_.connect_attempts.load(std::memory_order_relaxed);
+  out.connects = health_.connects.load(std::memory_order_relaxed);
+  out.accepts = health_.accepts.load(std::memory_order_relaxed);
+  out.frames_sent = health_.frames_sent.load(std::memory_order_relaxed);
+  out.frames_received = health_.frames_received.load(std::memory_order_relaxed);
+  out.egress_hwm = health_.egress_hwm.load(std::memory_order_relaxed);
+  out.mailbox_hwm = health_.mailbox_hwm.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < net::TransportHealth::kBuckets; ++i) {
+    out.flush_ns_buckets[i] =
+        health_.flush_ns_buckets[i].load(std::memory_order_relaxed);
+    out.frame_bytes_buckets[i] =
+        health_.frame_bytes_buckets[i].load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 void SocketNetwork::writer_loop(PartyId from) {
@@ -333,7 +376,7 @@ void SocketNetwork::writer_loop(PartyId from) {
     const int fd = out_fds_[from * n + to];
     if (fd < 0) continue;
     const Bytes body = wire::encode_msg(from, to, item->cause, item->msg);
-    if (!write_frame(fd, *link_mutexes_[from * n + to], body) &&
+    if (!send_frame(fd, *link_mutexes_[from * n + to], body) &&
         !stop_.load(std::memory_order_acquire)) {
       HYDRA_LOG_ERROR("socket_net: write to party %u failed (%s)", to,
                       std::strerror(errno));
@@ -361,6 +404,7 @@ void SocketNetwork::reader_loop(int fd, PartyId bound_from, PartyId local_to) {
       decode_dropped_.fetch_add(1, std::memory_order_relaxed);
       return;  // parse failure: also a poisoned stream
     }
+    health_.frames_received.fetch_add(1, std::memory_order_relaxed);
     switch (frame->type) {
       case wire::FrameType::kMsg: {
         // Authenticated-sender enforcement: the connection speaks for
@@ -379,6 +423,7 @@ void SocketNetwork::reader_loop(int fd, PartyId bound_from, PartyId local_to) {
             Mailbox::Item{now_ticks(),
                           arrival_seq_.fetch_add(1, std::memory_order_relaxed),
                           frame->msg.seq, bound_from, std::move(msg)});
+        HealthAtomics::raise(health_.mailbox_hwm, mailboxes_[local_to]->size());
         break;
       }
       case wire::FrameType::kFin:
@@ -451,11 +496,13 @@ SocketNetStats SocketNetwork::run(
     if (!is_local(from)) continue;
     for (PartyId to = 0; to < n; ++to) {
       if (to == from) continue;
-      const int fd = connect_retry(endpoints_[to], config_.uds, setup_deadline);
+      const int fd = connect_retry(endpoints_[to], config_.uds, setup_deadline,
+                                   health_.connect_attempts);
       HYDRA_ASSERT_MSG(fd >= 0, "socket transport: cannot connect to peer");
+      health_.connects.fetch_add(1, std::memory_order_relaxed);
       const Bytes hello = wire::encode_hello(
           {.run_id = run_id, .from = from, .n = static_cast<std::uint32_t>(n)});
-      HYDRA_ASSERT_MSG(write_frame(fd, *link_mutexes_[from * n + to], hello),
+      HYDRA_ASSERT_MSG(send_frame(fd, *link_mutexes_[from * n + to], hello),
                        "socket transport: handshake write failed");
       out_fds_[from * n + to] = fd;
     }
@@ -475,6 +522,20 @@ SocketNetStats SocketNetwork::run(
     Bytes body;
     std::optional<wire::Frame> frame;
     if (read_frame(fd, body) == ReadFrame::kOk) frame = wire::decode_frame(body);
+    // Wire-version mismatch gets its own actionable rejection: decode_frame
+    // deliberately parses ANY version's HELLO (docs/DEPLOYMENT.md wire
+    // contract) so this layer can tell the operator which side to upgrade
+    // instead of silently dropping the peer.
+    if (frame && frame->type == wire::FrameType::kHello &&
+        frame->hello.version != wire::kVersion) {
+      HYDRA_LOG_ERROR(
+          "socket_net: peer party %u speaks wire version %u, this build "
+          "speaks %u — upgrade the older side (mixed-version runs are not "
+          "supported); rejecting connection",
+          frame->hello.from, frame->hello.version, wire::kVersion);
+      decode_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     if (!frame || frame->type != wire::FrameType::kHello ||
         frame->hello.run_id != run_id || frame->hello.n != n ||
         frame->hello.from >= n) {
@@ -482,6 +543,10 @@ SocketNetStats SocketNetwork::run(
       return;  // never bound: no identity, no frames accepted
     }
     set_recv_timeout(fd, 0);
+    health_.accepts.fetch_add(1, std::memory_order_relaxed);
+    // The bound HELLO counts as received here; reader_loop counts the rest
+    // (keeps frames_sent/frames_received symmetric on a healthy mesh).
+    health_.frames_received.fetch_add(1, std::memory_order_relaxed);
     reader_loop(fd, frame->hello.from, local_to);
   };
 
@@ -588,6 +653,37 @@ SocketNetStats SocketNetwork::run(
 
   obs::MonitorHost* mon = obs::enabled() ? obs::monitors() : nullptr;
 
+  // Live telemetry: looked up once (context-scoped, obs/stats.hpp), then the
+  // sampling thread pulls snapshots from live transport state. The provider
+  // captures run()-local watchdog arrays by reference — it is removed below,
+  // before any of that state dies.
+  obs::StatsPublisher* stats_pub = obs::stats();
+  if (stats_pub != nullptr) {
+    stats_pub->set_provider([&, n](obs::StatsSnapshot& s) {
+      s.messages = pipeline_.messages();
+      s.bytes = pipeline_.bytes();
+      s.auth_dropped = auth_dropped_.load(std::memory_order_relaxed);
+      s.decode_dropped = decode_dropped_.load(std::memory_order_relaxed);
+      for (PartyId id = 0; id < n; ++id) {
+        if (!is_local(id)) continue;
+        s.egress_depth += out_queues_[id]->size();
+        s.mailbox_depth += mailboxes_[id]->size();
+        obs::StatsSnapshot::Party p;
+        p.id = id;
+        p.finished = done[id].load(std::memory_order_acquire);
+        p.events = handled[id].load(std::memory_order_relaxed);
+        p.round = config_.delta > 0
+                      ? static_cast<std::uint64_t>(
+                            last_progress[id].load(std::memory_order_relaxed) /
+                            config_.delta)
+                      : 0;
+        if (p.finished) ++s.decided;
+        s.round = std::max(s.round, p.round);
+        s.parties.push_back(p);
+      }
+    });
+  }
+
   // Multi-process shutdown handshake: announce each local party's finish to
   // every remote party with a FIN frame (written directly, serialized with
   // the writer by the link mutex), and wait for the remotes' FINs before
@@ -604,7 +700,7 @@ SocketNetStats SocketNetwork::run(
       for (PartyId to = 0; to < n; ++to) {
         if (to == id || is_local(to)) continue;
         const int fd = out_fds_[id * n + to];
-        if (fd >= 0) write_frame(fd, *link_mutexes_[id * n + to], fin);
+        if (fd >= 0) send_frame(fd, *link_mutexes_[id * n + to], fin);
       }
     }
   };
@@ -637,6 +733,14 @@ SocketNetStats SocketNetwork::run(
       break;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // The final heartbeat ("final":1) must sample the provider while the
+  // watchdog state it captures is still alive, so the publisher stops HERE;
+  // the harness's own stop() at run teardown is then an idempotent no-op.
+  if (stats_pub != nullptr) {
+    stats_pub->stop();
+    stats_pub->set_provider(nullptr);
   }
 
   // ------------------------------------------------------------ shutdown
@@ -690,6 +794,7 @@ SocketNetStats SocketNetwork::run(
           .count();
   stats.frames_auth_dropped = auth_dropped_.load(std::memory_order_relaxed);
   stats.frames_decode_dropped = decode_dropped_.load(std::memory_order_relaxed);
+  stats.health = snapshot_health();
   stats.progress.resize(n);
   for (PartyId id = 0; id < n; ++id) {
     auto& p = stats.progress[id];

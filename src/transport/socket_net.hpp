@@ -27,6 +27,7 @@
 // (authenticated-sender enforcement).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -84,6 +85,9 @@ struct SocketNetStats : net::WireStats {
   /// rejections and malformed-frame drops. Zero on every healthy run.
   std::uint64_t frames_auth_dropped = 0;
   std::uint64_t frames_decode_dropped = 0;
+  /// Connection/frame/queue health counters and latency histograms
+  /// (net/wire_stats.hpp), covering this process's links only.
+  net::TransportHealth health;
 };
 
 class SocketNetwork {
@@ -115,6 +119,11 @@ class SocketNetwork {
   void post(PartyId from, PartyId to, sim::Message msg);
   void reader_loop(int fd, PartyId bound_from, PartyId local_to);
   void writer_loop(PartyId from);
+  /// write_frame with health accounting: frame-size + flush-latency
+  /// histograms and the frames_sent counter. Every frame this process emits
+  /// (HELLO/MSG/FIN) goes through here.
+  bool send_frame(int fd, std::mutex& mutex, const Bytes& body);
+  [[nodiscard]] net::TransportHealth snapshot_health() const;
   [[nodiscard]] Time now_ticks() const;
   [[nodiscard]] std::chrono::steady_clock::time_point tick_deadline(Time at) const;
   [[nodiscard]] bool is_local(PartyId id) const { return local_mask_[id]; }
@@ -155,6 +164,31 @@ class SocketNetwork {
   std::atomic<std::uint64_t> auth_dropped_{0};
   std::atomic<std::uint64_t> decode_dropped_{0};
   std::atomic<bool> stop_{false};
+
+  /// Concurrent accumulation side of net::TransportHealth — every counter a
+  /// relaxed atomic (writer threads, acceptors, readers and the watchdog all
+  /// touch them); snapshot_health() flattens into the plain struct.
+  struct HealthAtomics {
+    std::atomic<std::uint64_t> connect_attempts{0};
+    std::atomic<std::uint64_t> connects{0};
+    std::atomic<std::uint64_t> accepts{0};
+    std::atomic<std::uint64_t> frames_sent{0};
+    std::atomic<std::uint64_t> frames_received{0};
+    std::atomic<std::uint64_t> egress_hwm{0};
+    std::atomic<std::uint64_t> mailbox_hwm{0};
+    std::array<std::atomic<std::uint64_t>, net::TransportHealth::kBuckets>
+        flush_ns_buckets{};
+    std::array<std::atomic<std::uint64_t>, net::TransportHealth::kBuckets>
+        frame_bytes_buckets{};
+
+    static void raise(std::atomic<std::uint64_t>& hwm, std::uint64_t v) noexcept {
+      std::uint64_t cur = hwm.load(std::memory_order_relaxed);
+      while (v > cur &&
+             !hwm.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+      }
+    }
+  };
+  HealthAtomics health_;
 
   std::chrono::steady_clock::time_point epoch_;
   net::ConcurrentEgressPipeline pipeline_;

@@ -33,7 +33,10 @@
 namespace hydra::transport::wire {
 
 inline constexpr std::uint32_t kMagic = 0x41415948;  // "HYAA" little-endian
-inline constexpr std::uint32_t kVersion = 1;
+/// Wire version 2: MSG `seq` is specified as the origin's trace send id (the
+/// cross-process causal id consumed by trace stitching), and HELLO version
+/// mismatches are rejected with an actionable log instead of silently.
+inline constexpr std::uint32_t kVersion = 2;
 /// Hard cap on a frame body. Anything larger is a framing attack (or a
 /// corrupted stream): the connection is closed, never allocated for.
 inline constexpr std::uint32_t kMaxFrameBytes = 16u * 1024u * 1024u;
@@ -48,6 +51,10 @@ struct Hello {
   std::uint64_t run_id = 0;  ///< seed-derived; both ends must agree
   PartyId from = 0;          ///< claimed sender identity, bound at handshake
   std::uint32_t n = 0;       ///< party count; must match the receiver's
+  /// Version as decoded off the wire. decode_frame() keeps a well-formed
+  /// HELLO of any version so the handshake can reject a mismatch with an
+  /// actionable message (peer's version vs ours) instead of a silent drop.
+  std::uint32_t version = kVersion;
 };
 
 struct Msg {
@@ -114,7 +121,8 @@ struct Frame {
   switch (r.u8()) {
     case static_cast<std::uint8_t>(FrameType::kHello): {
       f.type = FrameType::kHello;
-      if (r.u32() != kMagic || r.u32() != kVersion) return std::nullopt;
+      if (r.u32() != kMagic) return std::nullopt;
+      f.hello.version = r.u32();
       f.hello.run_id = r.u64();
       f.hello.from = r.u32();
       f.hello.n = r.u32();

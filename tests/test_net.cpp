@@ -83,18 +83,21 @@ TEST(EgressPipeline, EagerIdsAllocateForEverySendIncludingDrops) {
   const auto first = pipeline.on_send(1, 2, test_message(), 0, 7, &injector);
   EXPECT_EQ(first.copies, 1u);
   EXPECT_EQ(first.seq[0], 0u);
-  EXPECT_EQ(first.send_id, 1u);
+  // Send ids carry the origin party in the high word (globally unique across
+  // serve/join processes) and the 1-based counter in the low word.
+  EXPECT_EQ(first.send_id, net::compose_send_id(1, 1));
+  EXPECT_EQ(net::send_id_party(first.send_id), 1u);
 
   const auto dropped = pipeline.on_send(0, 2, test_message(), 0, 7, &injector);
   EXPECT_EQ(dropped.copies, 0u);
   EXPECT_EQ(dropped.seq[0], 1u);
-  EXPECT_EQ(dropped.send_id, 2u);
+  EXPECT_EQ(dropped.send_id, net::compose_send_id(0, 2));
   // The dropped message is still a party send: accounting is pre-injector.
   EXPECT_EQ(pipeline.messages(), 2u);
 
   const auto third = pipeline.on_send(1, 0, test_message(), 0, 7, &injector);
   EXPECT_EQ(third.seq[0], 2u);
-  EXPECT_EQ(third.send_id, 3u);
+  EXPECT_EQ(third.send_id, net::compose_send_id(1, 3));
 }
 
 TEST(EgressPipeline, DuplicateGetsSecondSeqAndSharesSendId) {
@@ -107,7 +110,7 @@ TEST(EgressPipeline, DuplicateGetsSecondSeqAndSharesSendId) {
   EXPECT_EQ(out.seq[0], 0u);
   EXPECT_EQ(out.seq[1], 1u);
   // One send event, two deliveries with the same cause.
-  EXPECT_EQ(out.send_id, 1u);
+  EXPECT_EQ(out.send_id, net::compose_send_id(0, 1));
   EXPECT_GT(out.delay[1], out.delay[0] - 1);  // copy never beats the primary
   // The duplicate is network noise, not a party send.
   EXPECT_EQ(pipeline.messages(), 1u);

@@ -78,10 +78,15 @@ TEST(SocketWire, RejectsMalformedFrames) {
   Bytes bad_magic = wire::encode_hello({.run_id = 1, .from = 0, .n = 4});
   bad_magic[1] ^= 0xFF;
   EXPECT_FALSE(wire::decode_frame(bad_magic).has_value());
-  // Wrong version.
+  // A mismatched version still DECODES — the handshake layer compares it to
+  // kVersion and rejects with an actionable message naming both versions
+  // (silently dropping the frame here would leave the peer with nothing to
+  // report). The captured value must be the peer's, not ours.
   Bytes bad_version = wire::encode_hello({.run_id = 1, .from = 0, .n = 4});
   bad_version[5] ^= 0x01;
-  EXPECT_FALSE(wire::decode_frame(bad_version).has_value());
+  const auto other = wire::decode_frame(bad_version);
+  ASSERT_TRUE(other.has_value());
+  EXPECT_NE(other->hello.version, wire::kVersion);
   // Trailing garbage after a valid frame.
   Bytes trailing = wire::encode_fin(2);
   trailing.push_back(0);

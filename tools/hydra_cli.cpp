@@ -10,9 +10,13 @@
 //                             naturally for the first process, "join" for
 //                             the rest)
 //   hydra report [options]    render a trace (+ metrics) into a readable
-//                             report (markdown or single-file HTML)
+//                             report (markdown or single-file HTML); with
+//                             --merge, stitch per-process traces first
 //   hydra perf   [options]    measure the geometry kernels (ns/point) or
-//                             render a --perf-json phase profile
+//                             render --perf-json phase profiles (glob/comma
+//                             lists are merged into one attribution table)
+//   hydra top    [options]    render the latest hydra-stats-v1 heartbeats of
+//                             a live (or finished) run's --stats-json file
 //   hydra list                print the accepted option values
 //
 // Options (with defaults):
@@ -46,6 +50,13 @@
 //   plus any run option; --backend defaults to tcp here. Every process must
 //   be started with the same spec (n, ts, ta, dim, seed, protocol, ...) —
 //   inputs are a pure function of it. Exit status judges the LOCAL parties.
+//   SIGTERM/SIGINT flush every registered trace/stats sink before exiting
+//   (status 130), so a killed process leaves mergeable JSONL behind.
+//
+// Live telemetry (docs/OBSERVABILITY.md "Live telemetry"):
+//   --stats-json PATH     hydra-stats-v1 JSONL heartbeats (wall clock; NOT
+//                         byte-deterministic, unlike the trace)
+//   --stats-interval MS   heartbeat period (default 1000)
 //
 // Fault injection (docs/ROBUSTNESS.md):
 //   --faults SPEC         semicolon-separated clauses, e.g.
@@ -78,7 +89,14 @@
 // extension, so no seed overwrites another.
 //
 // hydra report options:
-//   --trace PATH          the JSONL trace to analyse (required)
+//   --trace PATH          the JSONL trace to analyse (this or --merge)
+//   --merge GLOB          stitch per-process traces (glob and/or comma list,
+//                         e.g. 'trace.p*.jsonl') into one causally ordered
+//                         timeline, re-evaluate the GLOBAL monitors when
+//                         every process completed, and report THAT
+//                         (docs/OBSERVABILITY.md "Distributed runs"); exits
+//                         1 on merge errors or violations
+//   --merged-out PATH     also write the stitched JSONL (only with --merge)
 //   --metrics PATH        the run's --metrics-json document (optional)
 //   --out PATH            output file (default: stdout)
 //   --format md|html      report format (default md)
@@ -91,15 +109,27 @@
 //                         bench/baselines/BENCH_geometry.json); prints the
 //                         delta table and exits 1 past --budget
 //   --budget FRAC         relative regression budget (default 0.10)
-//   --input PATH          instead: render a --perf-json phase profile as a
-//                         self/total attribution table
+//   --input PATHS         instead: render --perf-json phase profiles as a
+//                         self/total attribution table. Accepts a glob
+//                         and/or comma list ('perf.p*.json'); multiple files
+//                         merge into one table (counts/totals summed, min of
+//                         mins, max of maxes, log2 buckets added)
 //   --top K               show only the top K phases by self time
+//
+// hydra top options:
+//   --input PATH          a --stats-json heartbeat file (required); renders
+//                         the newest heartbeat per process plus per-party
+//                         progress — run it while the processes are still up
+//                         (or after; the final:1 line persists)
 //
 // Exit status: 0 when every executed run satisfied D-AA *and* no invariant
 // monitor recorded a violation, 1 otherwise — usable directly in scripts
 // and CI (sweeps with a non-empty failure list or any monitor violation
 // exit 1).
+#include <glob.h>
+
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -117,8 +147,11 @@
 #include "harness/stats.hpp"
 #include "harness/sweep.hpp"
 #include "harness/table.hpp"
+#include "obs/flatjson.hpp"
+#include "obs/merge.hpp"
 #include "obs/monitor.hpp"
 #include "obs/report.hpp"
+#include "obs/trace.hpp"
 
 using namespace hydra;
 using namespace hydra::harness;
@@ -141,13 +174,15 @@ struct Options {
 [[noreturn]] void usage(const char* error = nullptr) {
   if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
   std::fprintf(stderr,
-               "usage: hydra <run|sweep|serve|join|report|perf|list> [--key value | --key=value ...]\n"
+               "usage: hydra <run|sweep|serve|join|report|perf|top|list> [--key value | --key=value ...]\n"
                "keys: n ts ta dim eps delta protocol network adversary corrupt\n"
                "      workload scale seed seeds aggregation jobs sweep-json\n"
                "      trace-out metrics-json perf-json log-level monitors faults backend\n"
+               "      stats-json stats-interval\n"
                "serve/join keys: party peers listen (docs/DEPLOYMENT.md)\n"
-               "report keys: trace metrics out format title\n"
+               "report keys: trace merge merged-out metrics out format title\n"
                "perf keys: json baseline budget input top\n"
+               "top keys: input\n"
                "run `hydra list` for accepted values.\n");
   std::exit(2);
 }
@@ -254,6 +289,13 @@ Options parse(int argc, char** argv) {
   if (const auto it = kv.find("perf-json"); it != kv.end()) {
     spec.perf_out = it->second;
   }
+  if (const auto it = kv.find("stats-json"); it != kv.end()) {
+    spec.stats_out = it->second;
+  }
+  if (const auto it = kv.find("stats-interval"); it != kv.end()) {
+    spec.stats_interval_ms = std::strtoll(it->second.c_str(), nullptr, 10);
+    if (spec.stats_interval_ms <= 0) usage("--stats-interval must be > 0 (ms)");
+  }
   if (const auto it = kv.find("sweep-json"); it != kv.end()) {
     opts.sweep_json = it->second;
   }
@@ -321,6 +363,59 @@ Options parse(int argc, char** argv) {
   }
   if (spec.corruptions >= spec.params.n) usage("corrupt must be < n");
   return opts;
+}
+
+/// --key value / --key=value pairs for the subcommands that do not go
+/// through parse() (report/perf/top). Duplicate keys overwrite — pass
+/// multi-valued inputs as one glob/comma value, not repeated flags.
+std::map<std::string, std::string> parse_kv(int argc, char** argv) {
+  std::map<std::string, std::string> kv;
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) usage("malformed options");
+    key = key.substr(2);
+    if (const auto eq = key.find('='); eq != std::string::npos) {
+      kv[key.substr(0, eq)] = key.substr(eq + 1);
+    } else {
+      if (i + 1 >= argc) usage("malformed options");
+      kv[key] = argv[++i];
+    }
+  }
+  return kv;
+}
+
+/// Expands a comma-separated list of paths and/or glob patterns into sorted
+/// deduplicated paths. A token that matches nothing is kept literally so the
+/// caller's open() produces a file-name-specific error instead of a silent
+/// no-op on a typo.
+std::vector<std::string> expand_inputs(const std::string& patterns) {
+  std::vector<std::string> out;
+  std::string token;
+  std::istringstream in(patterns);
+  while (std::getline(in, token, ',')) {
+    if (token.empty()) continue;
+    glob_t g{};
+    if (::glob(token.c_str(), 0, nullptr, &g) == 0) {
+      for (std::size_t i = 0; i < g.gl_pathc; ++i) out.emplace_back(g.gl_pathv[i]);
+    } else {
+      out.push_back(token);
+    }
+    ::globfree(&g);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// SIGTERM/SIGINT in serve/join: flush every registered sink (the lock-free
+/// flush registry in obs/trace.cpp exists for exactly this handler), then
+/// _exit — worker threads are mid-run, so running static destructors under
+/// them would race. The partial trace stays valid JSONL (line-buffered, so
+/// no torn lines) and merges with the surviving processes' traces; the
+/// missing `end` marker is how the merge knows this process was killed.
+extern "C" void flush_and_exit(int /*signal*/) {
+  obs::flush_all_sinks();
+  std::_Exit(130);
 }
 
 int cmd_run(const Options& opts) {
@@ -407,6 +502,8 @@ int cmd_serve(Options opts) {
   }
   spec.socket_endpoints = opts.peers;
   spec.socket_local = opts.local_parties;
+  std::signal(SIGTERM, &flush_and_exit);
+  std::signal(SIGINT, &flush_and_exit);
   if (spec.protocol == Protocol::kHybrid && !spec.params.feasible()) {
     usage("params violate (D+1) ts + ta < n (or n <= 3 ts) for the --peers count");
   }
@@ -499,27 +596,71 @@ int cmd_sweep(const Options& opts) {
 }
 
 int cmd_report(int argc, char** argv) {
-  std::map<std::string, std::string> kv;
-  for (int i = 2; i < argc; ++i) {
-    std::string key = argv[i];
-    if (key.rfind("--", 0) != 0) usage("malformed options");
-    key = key.substr(2);
-    if (const auto eq = key.find('='); eq != std::string::npos) {
-      kv[key.substr(0, eq)] = key.substr(eq + 1);
-    } else {
-      if (i + 1 >= argc) usage("malformed options");
-      kv[key] = argv[++i];
+  const auto kv = parse_kv(argc, argv);
+  const auto trace_path = kv.find("trace");
+  const auto merge_glob = kv.find("merge");
+  if (trace_path == kv.end() && merge_glob == kv.end()) {
+    usage("report requires --trace PATH or --merge GLOB");
+  }
+  if (trace_path != kv.end() && merge_glob != kv.end()) {
+    usage("--trace and --merge are mutually exclusive");
+  }
+
+  // --merge: stitch the per-process traces into one timeline (re-evaluating
+  // the global monitors when every process completed) and report on THAT.
+  // The merged trace replaces the --trace input; the violation gate below
+  // makes `hydra report --merge ...` usable directly as a CI check.
+  std::string merged;
+  std::uint64_t merge_violations = 0;
+  std::string source_name;
+  if (merge_glob != kv.end()) {
+    const auto paths = expand_inputs(merge_glob->second);
+    if (paths.empty()) {
+      std::fprintf(stderr, "error: --merge '%s' names no files\n",
+                   merge_glob->second.c_str());
+      return 1;
+    }
+    const auto result = obs::merge_traces(paths);
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: trace merge failed: %s\n",
+                   result.error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "merged %zu trace(s): %zu events, %zu orphan deliver(s), "
+                 "%s, %llu violation(s)\n",
+                 result.files, result.events, result.orphans,
+                 result.reevaluated ? "global monitors re-evaluated"
+                                    : "incomplete (no re-evaluation)",
+                 static_cast<unsigned long long>(result.violations));
+    if (const auto out = kv.find("merged-out"); out != kv.end()) {
+      std::ofstream f(out->second);
+      if (!f) {
+        std::fprintf(stderr, "error: cannot write %s\n", out->second.c_str());
+        return 1;
+      }
+      f << result.merged;
+    }
+    merged = result.merged;
+    merge_violations = result.violations;
+    source_name = merge_glob->second;
+  } else {
+    source_name = trace_path->second;
+  }
+
+  std::ifstream trace_file;
+  std::istringstream merged_stream(merged);
+  if (trace_path != kv.end()) {
+    trace_file.open(trace_path->second);
+    if (!trace_file) {
+      std::fprintf(stderr, "error: cannot read trace %s\n",
+                   trace_path->second.c_str());
+      return 1;
     }
   }
-  const auto trace_path = kv.find("trace");
-  if (trace_path == kv.end()) usage("report requires --trace PATH");
-
-  std::ifstream trace(trace_path->second);
-  if (!trace) {
-    std::fprintf(stderr, "error: cannot read trace %s\n",
-                 trace_path->second.c_str());
-    return 1;
-  }
+  std::istream& trace =
+      trace_path != kv.end() ? static_cast<std::istream&>(trace_file)
+                             : static_cast<std::istream&>(merged_stream);
 
   std::string metrics;
   if (const auto it = kv.find("metrics"); it != kv.end()) {
@@ -558,40 +699,82 @@ int cmd_report(int argc, char** argv) {
     events = render(std::cout);
   }
   if (events == 0) {
-    std::fprintf(stderr, "error: no trace events in %s\n",
-                 trace_path->second.c_str());
+    std::fprintf(stderr, "error: no trace events in %s\n", source_name.c_str());
+    return 1;
+  }
+  // Merge mode gates on the GLOBAL verdict: re-evaluated violations (or the
+  // surviving per-process ones when a process died) fail the command.
+  if (merge_violations > 0) {
+    std::fprintf(stderr, "error: %llu invariant violation(s) in merged trace\n",
+                 static_cast<unsigned long long>(merge_violations));
     return 1;
   }
   return 0;
 }
 
-int cmd_perf(int argc, char** argv) {
-  std::map<std::string, std::string> kv;
-  for (int i = 2; i < argc; ++i) {
-    std::string key = argv[i];
-    if (key.rfind("--", 0) != 0) usage("malformed options");
-    key = key.substr(2);
-    if (const auto eq = key.find('='); eq != std::string::npos) {
-      kv[key.substr(0, eq)] = key.substr(eq + 1);
-    } else {
-      if (i + 1 >= argc) usage("malformed options");
-      kv[key] = argv[++i];
+/// Folds `from` into the accumulated per-phase rows: counts and times sum,
+/// min is the min of nonzero mins (0 = "no samples", not "instant"), max is
+/// the max of maxes, and the log2 latency buckets add element-wise (their
+/// bucket boundaries are position-fixed, so index i always means [2^i,
+/// 2^(i+1)) whatever length each file trimmed its trailing zeros to).
+void merge_phase_rows(std::map<std::string, harness::PhaseRow>& acc,
+                      const std::vector<harness::PhaseRow>& from) {
+  for (const auto& row : from) {
+    auto& a = acc[row.name];
+    if (a.name.empty()) {
+      a = row;
+      continue;
+    }
+    a.count += row.count;
+    a.total_ns += row.total_ns;
+    a.self_ns += row.self_ns;
+    if (row.min_ns != 0) {
+      a.min_ns = a.min_ns == 0 ? row.min_ns : std::min(a.min_ns, row.min_ns);
+    }
+    a.max_ns = std::max(a.max_ns, row.max_ns);
+    if (a.buckets.size() < row.buckets.size()) {
+      a.buckets.resize(row.buckets.size(), 0);
+    }
+    for (std::size_t i = 0; i < row.buckets.size(); ++i) {
+      a.buckets[i] += row.buckets[i];
     }
   }
+}
 
-  // Phase-profile mode: render a run's --perf-json document.
+int cmd_perf(int argc, char** argv) {
+  const auto kv = parse_kv(argc, argv);
+
+  // Phase-profile mode: render --perf-json documents. Several files (a glob
+  // or comma list, e.g. every process of a distributed run or every seed of
+  // a sweep) merge into one attribution table.
   if (const auto it = kv.find("input"); it != kv.end()) {
-    const auto rows = load_perf_json(it->second);
-    if (!rows) {
-      std::fprintf(stderr, "error: %s is not a hydra-perf-v1 document\n",
+    const auto paths = expand_inputs(it->second);
+    if (paths.empty()) {
+      std::fprintf(stderr, "error: --input '%s' names no files\n",
                    it->second.c_str());
       return 1;
     }
+    std::map<std::string, harness::PhaseRow> acc;
+    for (const auto& path : paths) {
+      const auto rows = load_perf_json(path);
+      if (!rows) {
+        std::fprintf(stderr, "error: %s is not a hydra-perf-v1 document\n",
+                     path.c_str());
+        return 1;
+      }
+      merge_phase_rows(acc, *rows);
+    }
+    std::vector<harness::PhaseRow> merged;
+    merged.reserve(acc.size());
+    for (auto& [name, row] : acc) merged.push_back(std::move(row));
     std::size_t top = 0;
     if (const auto t = kv.find("top"); t != kv.end()) {
       top = static_cast<std::size_t>(std::strtoull(t->second.c_str(), nullptr, 10));
     }
-    std::fputs(render_phase_report(*rows, top).c_str(), stdout);
+    if (paths.size() > 1) {
+      std::printf("merged %zu phase profiles\n", paths.size());
+    }
+    std::fputs(render_phase_report(std::move(merged), top).c_str(), stdout);
     return 0;
   }
 
@@ -632,6 +815,93 @@ int cmd_perf(int argc, char** argv) {
   return 0;
 }
 
+/// `hydra top --input stats.jsonl`: the newest hydra-stats-v1 heartbeat per
+/// process (multi-process runs append to separate files, but merging them
+/// with `cat` also works — lines are self-identifying via `proc`), plus
+/// per-party progress from those newest lines. Reads a snapshot; re-run it
+/// (or `watch hydra top ...`) to follow a live run.
+int cmd_top(int argc, char** argv) {
+  const auto kv = parse_kv(argc, argv);
+  const auto input = kv.find("input");
+  if (input == kv.end()) usage("top requires --input STATS_JSONL");
+
+  struct Heartbeat {
+    std::map<std::string, std::string> kv;
+    std::uint64_t line_no = 0;
+  };
+  std::map<std::uint64_t, Heartbeat> latest;  ///< by proc tag (0 = untagged)
+  std::uint64_t lines = 0;
+  std::uint64_t skipped = 0;
+  for (const auto& path : expand_inputs(input->second)) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      auto obj = obs::flatjson::parse_object_arrays(line);
+      if (obs::flatjson::str(obj, "schema") != "hydra-stats-v1") {
+        ++skipped;
+        continue;
+      }
+      ++lines;
+      const auto proc = obs::flatjson::unum(obj, "proc");
+      auto& slot = latest[proc];
+      // Later lines supersede earlier ones per process; file order is
+      // emission order within one process by construction.
+      slot.kv = std::move(obj);
+      slot.line_no = lines;
+    }
+  }
+  if (latest.empty()) {
+    std::fprintf(stderr, "error: no hydra-stats-v1 heartbeats in %s%s\n",
+                 input->second.c_str(),
+                 skipped > 0 ? " (lines present but not parseable)" : "");
+    return 1;
+  }
+
+  using obs::flatjson::str;
+  using obs::flatjson::unum;
+  Table procs({"proc", "uptime (s)", "msgs", "bytes", "dropped", "egress q",
+               "mailbox q", "decided", "round", "state"});
+  for (const auto& [proc, hb] : latest) {
+    const auto& o = hb.kv;
+    const double ms = std::strtod(str(o, "ms").c_str(), nullptr);
+    const std::uint64_t dropped =
+        unum(o, "auth_dropped") + unum(o, "decode_dropped");
+    procs.row({proc == 0 ? std::string("-") : std::to_string(proc),
+               fmt(ms / 1000.0), fmt(unum(o, "messages")), fmt(unum(o, "bytes")),
+               fmt(dropped), fmt(unum(o, "egress_depth")),
+               fmt(unum(o, "mailbox_depth")), fmt(unum(o, "decided")),
+               fmt(unum(o, "round")),
+               unum(o, "final") != 0 ? "final" : "live"});
+  }
+  procs.print();
+
+  Table parties({"party", "proc", "finished", "events", "round"});
+  bool any_party = false;
+  for (const auto& [proc, hb] : latest) {
+    const auto it = hb.kv.find("parties");
+    if (it == hb.kv.end()) continue;
+    // "[[id,finished,events,round],...]" — flatten and chunk by 4.
+    const auto numbers = obs::flatjson::parse_reals(it->second);
+    for (std::size_t i = 0; i + 3 < numbers.size(); i += 4) {
+      any_party = true;
+      parties.row({fmt(numbers[i]),
+                   proc == 0 ? std::string("-") : std::to_string(proc),
+                   numbers[i + 1] != 0.0 ? "yes" : "no", fmt(numbers[i + 2]),
+                   fmt(numbers[i + 3])});
+    }
+  }
+  if (any_party) {
+    std::printf("\n");
+    parties.print();
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -643,6 +913,7 @@ int main(int argc, char** argv) {
   }
   if (command == "report") return cmd_report(argc, argv);
   if (command == "perf") return cmd_perf(argc, argv);
+  if (command == "top") return cmd_top(argc, argv);
   const auto opts = parse(argc, argv);
   if (command == "run") return cmd_run(opts);
   if (command == "sweep") return cmd_sweep(opts);

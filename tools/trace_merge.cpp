@@ -1,0 +1,78 @@
+// trace_merge — stitch per-process hydra traces into one causally ordered
+// timeline (obs/merge.hpp; docs/OBSERVABILITY.md "Distributed runs").
+//
+//   trace_merge [--out PATH] [--check] TRACE.jsonl...
+//
+// Each `hydra serve`/`join` process writes a trace covering its local
+// parties; this tool merges them (argument order is irrelevant — the output
+// is a pure function of the file contents), re-evaluates the GLOBAL
+// invariant monitors when every process completed, and writes the merged
+// JSONL to --out (default: stdout). A summary goes to stderr so it never
+// mixes with piped output.
+//
+// Exit status: 0 on a clean merge; 1 with --check when the merged timeline
+// carries violations or orphan delivers (a deliver whose cause send never
+// appeared — expected when a process was killed, suspicious otherwise);
+// 2 on merge failure (unreadable file, mismatched run ids, ...).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/merge.hpp"
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  bool check = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: trace_merge [--out PATH] [--check] TRACE.jsonl...\n");
+      return 2;
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: trace_merge [--out PATH] [--check] TRACE.jsonl...\n");
+    return 2;
+  }
+
+  const auto result = hydra::obs::merge_traces(paths);
+  if (!result.ok()) {
+    std::fprintf(stderr, "trace_merge: %s\n", result.error.c_str());
+    return 2;
+  }
+
+  if (out_path.empty()) {
+    std::cout << result.merged;
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "trace_merge: cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    out << result.merged;
+  }
+
+  std::fprintf(stderr,
+               "trace_merge: %zu file(s), %zu event(s), %zu orphan(s), %zu "
+               "skipped line(s), %s, %llu violation(s)\n",
+               result.files, result.events, result.orphans, result.skipped_lines,
+               result.reevaluated
+                   ? "complete (global monitors re-evaluated)"
+                   : (result.complete ? "complete" : "incomplete"),
+               static_cast<unsigned long long>(result.violations));
+  if (check && (result.violations > 0 || result.orphans > 0)) return 1;
+  return 0;
+}
