@@ -43,6 +43,16 @@ struct InstanceKey {
   friend auto operator<=>(const InstanceKey&, const InstanceKey&) = default;
 };
 
+/// Multi-instance tag layout (src/serve/ and the socket wire validation):
+/// the low kInstanceTagShift bits of InstanceKey::tag name the protocol
+/// layer (protocols/keys.hpp, all < 256), the high bits carry the serving
+/// instance id. Instance 0 therefore leaves every tag byte-identical to a
+/// single-instance run.
+inline constexpr std::uint32_t kInstanceTagShift = 8;
+inline constexpr std::uint32_t kInstanceTagMask = (1u << kInstanceTagShift) - 1;
+/// Largest representable serving-instance id + 1 (2^24).
+inline constexpr std::uint32_t kMaxInstances = 1u << (32 - kInstanceTagShift);
+
 struct InstanceKeyHash {
   [[nodiscard]] std::size_t operator()(const InstanceKey& k) const noexcept {
     std::uint64_t h = (std::uint64_t{k.tag} << 40) ^ (std::uint64_t{k.a} << 20) ^

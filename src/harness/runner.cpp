@@ -43,36 +43,6 @@ std::set<PartyId> corrupted_set(std::size_t corruptions) {
   return out;
 }
 
-std::unique_ptr<sim::DelayModel> make_network(const RunSpec& spec) {
-  const Duration delta = spec.params.delta;
-  switch (spec.network) {
-    case Network::kSyncWorstCase:
-      return std::make_unique<sim::FixedDelay>(delta);
-    case Network::kSyncJitter:
-      return std::make_unique<sim::UniformDelay>(1, delta);
-    case Network::kSyncTargeted:
-      return std::make_unique<adversary::TargetedScheduler>(
-          std::make_unique<sim::UniformDelay>(1, std::max<Duration>(1, delta / 2)),
-          std::set<PartyId>{static_cast<PartyId>(spec.params.n - 1)}, delta);
-    case Network::kSyncRushing:
-      return std::make_unique<adversary::RushingScheduler>(
-          corrupted_set(spec.corruptions), 1, delta);
-    case Network::kAsyncReorder:
-      return std::make_unique<adversary::ReorderScheduler>(delta, 0.3, 12 * delta);
-    case Network::kAsyncPartition: {
-      std::set<PartyId> group;
-      for (PartyId id = 0; id < spec.params.n / 2; ++id) group.insert(id);
-      return std::make_unique<adversary::PartitionScheduler>(
-          std::make_unique<sim::UniformDelay>(1, delta), std::move(group), 2 * delta,
-          50 * delta);
-    }
-    case Network::kAsyncExponential:
-      return std::make_unique<sim::ExponentialDelay>(2.0 * static_cast<double>(delta),
-                                                     60 * delta);
-  }
-  return std::make_unique<sim::FixedDelay>(delta);
-}
-
 std::unique_ptr<sim::IParty> make_byzantine(Adversary kind, const RunSpec& spec,
                                             PartyId id, const geo::Vec& input,
                                             std::uint64_t salt) {
@@ -357,6 +327,7 @@ void write_metrics_json(const RunSpec& spec, const RunResult& result,
     w.kv("connects", th.connects);
     w.kv("accepts", th.accepts);
     w.kv("frames_sent", th.frames_sent);
+    w.kv("flushes", th.flushes);
     w.kv("frames_received", th.frames_received);
     w.kv("egress_hwm", th.egress_hwm);
     w.kv("mailbox_hwm", th.mailbox_hwm);
@@ -383,9 +354,10 @@ void write_metrics_json(const RunSpec& spec, const RunResult& result,
     return;
   }
   const std::string& doc = w.str();
-  std::fwrite(doc.data(), 1, doc.size(), f);
-  std::fputc('\n', f);
-  std::fclose(f);
+  bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  ok = std::fputc('\n', f) != EOF && ok;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) HYDRA_LOG_ERROR("metrics: short write to %s", spec.metrics_out.c_str());
 }
 
 /// The hydra-perf-v1 phase-profile export: a short spec echo (enough to know
@@ -422,9 +394,10 @@ void write_perf_json(const RunSpec& spec, const obs::Profiler& profiler) {
     return;
   }
   const std::string& doc = w.str();
-  std::fwrite(doc.data(), 1, doc.size(), f);
-  std::fputc('\n', f);
-  std::fclose(f);
+  bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  ok = std::fputc('\n', f) != EOF && ok;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) HYDRA_LOG_ERROR("perf: short write to %s", spec.perf_out.c_str());
 }
 
 /// RAII for the per-run observability session. Every run gets its OWN
@@ -539,6 +512,36 @@ std::optional<obs::MonitorHost::Config> make_monitor_config(
 }
 
 }  // namespace
+
+std::unique_ptr<sim::DelayModel> make_network(const RunSpec& spec) {
+  const Duration delta = spec.params.delta;
+  switch (spec.network) {
+    case Network::kSyncWorstCase:
+      return std::make_unique<sim::FixedDelay>(delta);
+    case Network::kSyncJitter:
+      return std::make_unique<sim::UniformDelay>(1, delta);
+    case Network::kSyncTargeted:
+      return std::make_unique<adversary::TargetedScheduler>(
+          std::make_unique<sim::UniformDelay>(1, std::max<Duration>(1, delta / 2)),
+          std::set<PartyId>{static_cast<PartyId>(spec.params.n - 1)}, delta);
+    case Network::kSyncRushing:
+      return std::make_unique<adversary::RushingScheduler>(
+          corrupted_set(spec.corruptions), 1, delta);
+    case Network::kAsyncReorder:
+      return std::make_unique<adversary::ReorderScheduler>(delta, 0.3, 12 * delta);
+    case Network::kAsyncPartition: {
+      std::set<PartyId> group;
+      for (PartyId id = 0; id < spec.params.n / 2; ++id) group.insert(id);
+      return std::make_unique<adversary::PartitionScheduler>(
+          std::make_unique<sim::UniformDelay>(1, delta), std::move(group), 2 * delta,
+          50 * delta);
+    }
+    case Network::kAsyncExponential:
+      return std::make_unique<sim::ExponentialDelay>(2.0 * static_cast<double>(delta),
+                                                     60 * delta);
+  }
+  return std::make_unique<sim::FixedDelay>(delta);
+}
 
 void ensure_backends_registered() {
   // std::call_once rather than static-initializer registration: the adapter

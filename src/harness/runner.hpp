@@ -4,6 +4,7 @@
 // over RunSpecs.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -14,6 +15,10 @@
 #include "net/wire_stats.hpp"
 #include "obs/monitor.hpp"
 #include "protocols/params.hpp"
+
+namespace hydra::sim {
+class DelayModel;
+}
 
 namespace hydra::harness {
 
@@ -192,6 +197,12 @@ struct RunResult {
   /// simulator metrics stay byte-identical.
   net::TransportHealth transport_health;
 };
+
+/// Builds the sim::DelayModel implementing `spec.network` (spec.params.delta
+/// and spec.corruptions parameterize the adversarial schedulers). Shared by
+/// execute() and the multi-instance serving engine (src/serve/), which must
+/// model network conditions identically to single runs.
+[[nodiscard]] std::unique_ptr<sim::DelayModel> make_network(const RunSpec& spec);
 
 /// Registers the builtin execution backends ("sim", "threads", "tcp",
 /// "uds") with the net::Backend registry. Idempotent and thread-safe;

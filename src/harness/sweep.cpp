@@ -58,7 +58,8 @@ std::string cell_key(const RunSpec& spec) {
       << spec.params.n << '|' << spec.params.ts << '|' << spec.params.ta << '|'
       << spec.params.dim << '|' << spec.params.eps << '|' << spec.params.delta
       << '|' << spec.corruptions << '|' << spec.workload_scale << '|'
-      << spec.faults << '|' << spec.backend;
+      << spec.faults << '|' << spec.backend << '|' << spec.max_time << '|'
+      << spec.us_per_tick << '|' << spec.timeout_ms;
   return key.str();
 }
 
@@ -259,10 +260,13 @@ bool write_sweep_summary_json(const std::string& path,
     return false;
   }
   const std::string& doc = w.str();
-  std::fwrite(doc.data(), 1, doc.size(), f);
-  std::fputc('\n', f);
-  std::fclose(f);
-  return true;
+  // A summary that silently truncates (disk full, quota) is worse than none:
+  // downstream tooling would trust a partial cell table. Check every write.
+  bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  ok = std::fputc('\n', f) != EOF && ok;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) HYDRA_LOG_ERROR("sweep: short write to %s", path.c_str());
+  return ok;
 }
 
 }  // namespace hydra::harness

@@ -54,6 +54,11 @@ struct BackendConfig {
   // remote parties are reached through their endpoints (hydra serve/join).
   std::vector<std::string> endpoints;
   std::vector<PartyId> local_parties;
+  /// Multi-instance serving (src/serve/): sockets reject inbound frames
+  /// whose tag carries an instance id >= this bound (common/types.hpp tag
+  /// layout) on the hardened decode path. 0 = single-instance mode, no
+  /// instance validation. Ignored by sim/threads, which never deserialize.
+  std::uint32_t instance_tag_limit = 0;
 };
 
 /// Backend-neutral run result: shared wire accounting plus the union of the

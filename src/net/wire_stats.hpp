@@ -51,6 +51,10 @@ struct TransportHealth {
   std::uint64_t connects = 0;          ///< dials that completed
   std::uint64_t accepts = 0;           ///< inbound connections bound at HELLO
   std::uint64_t frames_sent = 0;       ///< frames written (HELLO/MSG/FIN)
+  /// Coalesced writer flushes: each is ONE kernel send covering every frame
+  /// that was due in the flush window, so frames_sent / flushes is the
+  /// batching factor the multi-instance serving load achieves.
+  std::uint64_t flushes = 0;
   std::uint64_t frames_received = 0;   ///< frames read and decoded
   /// High-water marks across all queues of the kind.
   std::uint64_t egress_hwm = 0;   ///< deepest outbound (writer) queue seen
@@ -61,7 +65,7 @@ struct TransportHealth {
   std::array<std::uint64_t, kBuckets> frame_bytes_buckets{};
 
   [[nodiscard]] bool any() const {
-    if (connect_attempts || connects || accepts || frames_sent ||
+    if (connect_attempts || connects || accepts || frames_sent || flushes ||
         frames_received || egress_hwm || mailbox_hwm) {
       return true;
     }

@@ -450,6 +450,7 @@ std::size_t render_report(std::istream& trace, const std::string& metrics_json,
                {"connects", std::to_string(unum(health, "connects"))},
                {"accepts (bound at HELLO)", std::to_string(unum(health, "accepts"))},
                {"frames sent", std::to_string(unum(health, "frames_sent"))},
+               {"writer flushes (coalesced)", std::to_string(unum(health, "flushes"))},
                {"frames received", std::to_string(unum(health, "frames_received"))},
                {"egress queue high-water", std::to_string(unum(health, "egress_hwm"))},
                {"mailbox high-water", std::to_string(unum(health, "mailbox_hwm"))}});

@@ -30,7 +30,9 @@ StatsPublisher::~StatsPublisher() {
   stop();
   if (file_ != nullptr) {
     unregister_flush_target(file_);
-    std::fclose(file_);
+    if (std::fclose(file_) != 0 && !write_failed_) {
+      std::fprintf(stderr, "hydra stats: close failed, stats file truncated\n");
+    }
   }
 }
 
@@ -107,9 +109,15 @@ void StatsPublisher::emit(bool final_line) {
   const std::string line = w.take();
   // The emit itself is not under mutex_ (the provider call was): write_line
   // races only with itself across stop()/loop(), which serialize on the
-  // thread join, so plain fwrite is safe here.
-  std::fwrite(line.data(), 1, line.size(), file_);
-  std::fputc('\n', file_);
+  // thread join, so plain fwrite is safe here. Failures report to stderr
+  // (one-shot), not the logger — the logger may route into a trace sink and
+  // stats run on their own timer thread, so keep this path self-contained.
+  const bool ok = std::fwrite(line.data(), 1, line.size(), file_) == line.size() &&
+                  std::fputc('\n', file_) != EOF;
+  if (!ok && !write_failed_) {
+    write_failed_ = true;
+    std::fprintf(stderr, "hydra stats: write failed, stats are truncated from here\n");
+  }
 }
 
 }  // namespace hydra::obs

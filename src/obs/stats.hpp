@@ -98,6 +98,8 @@ class StatsPublisher {
   std::uint32_t proc_;
   std::chrono::steady_clock::time_point start_;
 
+  bool write_failed_ = false;  ///< one-shot: first short write reports, rest drop
+
   std::mutex mutex_;  ///< guards provider_ and serializes emits
   Provider provider_;
   std::condition_variable cv_;

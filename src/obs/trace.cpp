@@ -43,15 +43,25 @@ TraceSink::TraceSink(const std::string& path) : file_(std::fopen(path.c_str(), "
 TraceSink::~TraceSink() {
   if (file_ != nullptr) {
     unregister_flush_target(file_);
-    std::fclose(file_);
+    if (std::fclose(file_) != 0 && !write_failed_) {
+      std::fprintf(stderr, "hydra trace: close failed, trace file truncated\n");
+    }
   }
 }
 
 void TraceSink::write_line(const std::string& line) {
   if (file_ == nullptr) return;
   const std::lock_guard lock(mutex_);
-  std::fwrite(line.data(), 1, line.size(), file_);
-  std::fputc('\n', file_);
+  const bool ok = std::fwrite(line.data(), 1, line.size(), file_) == line.size() &&
+                  std::fputc('\n', file_) != EOF;
+  // Report straight to stderr, NOT through HYDRA_LOG_ERROR: the logger is
+  // hooked into this very sink (log_to_trace), so logging here would re-enter
+  // write_line and deadlock on the non-recursive mutex_. One-shot so a full
+  // disk produces one diagnostic, not one per dropped event.
+  if (!ok && !write_failed_) {
+    write_failed_ = true;
+    std::fprintf(stderr, "hydra trace: write failed, trace is truncated from here\n");
+  }
 }
 
 namespace {

@@ -147,6 +147,7 @@ class TraceSink {
   std::mutex mutex_;
   std::FILE* file_ = nullptr;
   std::uint32_t proc_ = 0;
+  bool write_failed_ = false;  ///< one-shot: first short write reports, rest drop
 };
 
 /// Installs (or, with nullptr, uninstalls) the process-wide sink and hooks

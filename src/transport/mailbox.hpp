@@ -100,6 +100,18 @@ class Mailbox {
     }
   }
 
+  /// Non-blocking companion to pop_due for batch drains: returns the
+  /// earliest item already due at `now`, or nullopt without waiting. A
+  /// writer blocks once in pop_due, then pulls every already-due sibling
+  /// through here so one coalesced flush covers the whole batch.
+  [[nodiscard]] std::optional<Item> try_pop_due(Time now) {
+    const std::lock_guard lock(mutex_);
+    if (closed_ || queue_.empty() || queue_.top().due > now) return std::nullopt;
+    Item item = std::move(const_cast<Item&>(queue_.top()));
+    queue_.pop();
+    return item;
+  }
+
  private:
   std::mutex mutex_;
   std::condition_variable cv_;

@@ -26,7 +26,8 @@ class SocketBackend final : public net::Backend {
                              .timeout_ms = config.timeout_ms,
                              .uds = uds,
                              .endpoints = config.endpoints,
-                             .local = config.local_parties},
+                             .local = config.local_parties,
+                             .instance_tag_limit = config.instance_tag_limit},
              std::move(delay_model)) {}
 
   void set_fault_injector(faults::FaultInjector* injector) override {

@@ -204,6 +204,20 @@ int connect_retry(const std::string& endpoint, bool uds, Clock::time_point deadl
 
 }  // namespace
 
+std::string validate_uds_endpoint(const std::string& endpoint) {
+  if (endpoint.empty()) return "uds endpoint is empty";
+  const std::size_t limit = sizeof(sockaddr_un{}.sun_path);
+  if (endpoint.size() >= limit) {
+    return "uds endpoint \"" + endpoint + "\" is " +
+           std::to_string(endpoint.size()) +
+           " bytes, but AF_UNIX socket paths are limited to " +
+           std::to_string(limit - 1) +
+           " bytes (sockaddr_un::sun_path); use a shorter path, e.g. under "
+           "/tmp";
+  }
+  return "";
+}
+
 /// The per-party Env implementation; used only from the party's own worker
 /// thread (same contract as ThreadNetwork::ThreadEnv).
 class SocketNetwork::SocketEnv final : public sim::Env {
@@ -347,12 +361,31 @@ bool SocketNetwork::send_frame(int fd, std::mutex& mutex, const Bytes& body) {
   return ok;
 }
 
+bool SocketNetwork::flush_link(int fd, std::mutex& mutex, const Bytes& buffer,
+                               std::uint32_t frames) {
+  const auto t0 = Clock::now();
+  bool ok;
+  {
+    const std::lock_guard lock(mutex);
+    ok = write_all(fd, buffer.data(), buffer.size());
+  }
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+  health_.flush_ns_buckets[net::TransportHealth::bucket_of(ns)].fetch_add(
+      1, std::memory_order_relaxed);
+  health_.flushes.fetch_add(1, std::memory_order_relaxed);
+  if (ok) health_.frames_sent.fetch_add(frames, std::memory_order_relaxed);
+  return ok;
+}
+
 net::TransportHealth SocketNetwork::snapshot_health() const {
   net::TransportHealth out;
   out.connect_attempts = health_.connect_attempts.load(std::memory_order_relaxed);
   out.connects = health_.connects.load(std::memory_order_relaxed);
   out.accepts = health_.accepts.load(std::memory_order_relaxed);
   out.frames_sent = health_.frames_sent.load(std::memory_order_relaxed);
+  out.flushes = health_.flushes.load(std::memory_order_relaxed);
   out.frames_received = health_.frames_received.load(std::memory_order_relaxed);
   out.egress_hwm = health_.egress_hwm.load(std::memory_order_relaxed);
   out.mailbox_hwm = health_.mailbox_hwm.load(std::memory_order_relaxed);
@@ -367,20 +400,53 @@ net::TransportHealth SocketNetwork::snapshot_health() const {
 
 void SocketNetwork::writer_loop(PartyId from) {
   const std::size_t n = config_.n;
+  // Per-destination coalescing buffers, reused across flush windows: every
+  // frame due in a window is appended length-prefixed to its link's buffer,
+  // then each touched link gets ONE kernel send — under multi-instance load
+  // thousands of tiny frames share a syscall instead of paying one each.
+  std::vector<Bytes> buffers(n);
+  std::vector<std::uint32_t> frames(n, 0);
+  std::vector<PartyId> touched;
   for (;;) {
     auto item = out_queues_[from]->pop_due([this] { return now_ticks(); },
                                            [this](Time at) { return tick_deadline(at); },
                                            kTimeInfinity);
     if (!item) return;  // queue closed: shutdown
-    const PartyId to = item->from;  // destination, by writer-queue convention
-    const int fd = out_fds_[from * n + to];
-    if (fd < 0) continue;
-    const Bytes body = wire::encode_msg(from, to, item->cause, item->msg);
-    if (!send_frame(fd, *link_mutexes_[from * n + to], body) &&
-        !stop_.load(std::memory_order_acquire)) {
-      HYDRA_LOG_ERROR("socket_net: write to party %u failed (%s)", to,
-                      std::strerror(errno));
+    const Time now = now_ticks();
+    for (;;) {
+      const PartyId to = item->from;  // destination, by writer-queue convention
+      if (out_fds_[from * n + to] >= 0) {
+        const Bytes body = wire::encode_msg(from, to, item->cause, item->msg);
+        // Per-frame size accounting happens at append; the flush-latency
+        // histogram covers the whole coalesced write (flush_link).
+        health_.frame_bytes_buckets[net::TransportHealth::bucket_of(body.size())]
+            .fetch_add(1, std::memory_order_relaxed);
+        Bytes& buffer = buffers[to];
+        const auto len = static_cast<std::uint32_t>(body.size());
+        for (int i = 0; i < 4; ++i) {
+          buffer.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+        }
+        buffer.insert(buffer.end(), body.begin(), body.end());
+        if (frames[to]++ == 0) touched.push_back(to);
+      }
+      // Drain every sibling already due so it rides the same flush. The
+      // non-blocking probe keeps delay semantics exact: a frame whose
+      // deadline is still in the future waits for its own window.
+      auto next = out_queues_[from]->try_pop_due(now);
+      if (!next) break;
+      item = std::move(next);
     }
+    for (const PartyId to : touched) {
+      if (!flush_link(out_fds_[from * n + to], *link_mutexes_[from * n + to],
+                      buffers[to], frames[to]) &&
+          !stop_.load(std::memory_order_acquire)) {
+        HYDRA_LOG_ERROR("socket_net: write to party %u failed (%s)", to,
+                        std::strerror(errno));
+      }
+      buffers[to].clear();
+      frames[to] = 0;
+    }
+    touched.clear();
   }
 }
 
@@ -412,7 +478,8 @@ void SocketNetwork::reader_loop(int fd, PartyId bound_from, PartyId local_to) {
         // other identity is dropped and counted — the connection survives
         // (one forged frame must not censor the honest traffic behind it).
         if (const char* why =
-                wire::validate_msg(frame->msg, bound_from, local_to, n)) {
+                wire::validate_msg(frame->msg, bound_from, local_to, n,
+                                   config_.instance_tag_limit)) {
           (std::strcmp(why, "auth") == 0 ? auth_dropped_ : decode_dropped_)
               .fetch_add(1, std::memory_order_relaxed);
           continue;
@@ -470,6 +537,15 @@ SocketNetStats SocketNetwork::run(
   }
   HYDRA_ASSERT_MSG(endpoints_.size() == n,
                    "socket transport: endpoints must name every party");
+  if (config_.uds) {
+    // Last-resort check — the CLI validates user-supplied paths at parse
+    // time; this catches programmatic callers before an inscrutable
+    // bind/connect failure.
+    for (const auto& endpoint : endpoints_) {
+      const std::string error = validate_uds_endpoint(endpoint);
+      HYDRA_ASSERT_MSG(error.empty(), error.c_str());
+    }
+  }
   link_mutexes_.clear();
   for (std::size_t i = 0; i < n * n; ++i) {
     link_mutexes_.push_back(std::make_unique<std::mutex>());

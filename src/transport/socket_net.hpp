@@ -66,7 +66,18 @@ struct SocketNetConfig {
   std::vector<std::string> endpoints;
   /// Parties hosted by THIS process. Empty => all of them.
   std::vector<PartyId> local;
+  /// Multi-instance serving bound: inbound MSG frames whose tag carries an
+  /// instance id >= this value (common/types.hpp tag layout) are rejected on
+  /// the hardened decode path and counted in frames_decode_dropped. 0 =
+  /// single-instance mode, no instance validation.
+  std::uint32_t instance_tag_limit = 0;
 };
+
+/// Validates a uds endpoint path at PARSE time, before any socket call:
+/// returns "" when usable, else an actionable error naming the limit
+/// (sockaddr_un::sun_path, ~108 bytes) — a too-long path would otherwise
+/// surface as an inscrutable bind/connect failure deep inside the run.
+[[nodiscard]] std::string validate_uds_endpoint(const std::string& endpoint);
 
 /// Wire accounting in the shared net::WireStats base (filled through the
 /// same net::EgressPipeline as sim/threads; in multi-process mode it covers
@@ -123,6 +134,12 @@ class SocketNetwork {
   /// histograms and the frames_sent counter. Every frame this process emits
   /// (HELLO/MSG/FIN) goes through here.
   bool send_frame(int fd, std::mutex& mutex, const Bytes& body);
+  /// Coalesced-flush variant: writes an already length-prefixed buffer of
+  /// `frames` frames as ONE kernel send, with the same flush-latency
+  /// accounting plus the flushes counter. The writer loop batches every
+  /// due frame per destination link into such buffers.
+  bool flush_link(int fd, std::mutex& mutex, const Bytes& buffer,
+                  std::uint32_t frames);
   [[nodiscard]] net::TransportHealth snapshot_health() const;
   [[nodiscard]] Time now_ticks() const;
   [[nodiscard]] std::chrono::steady_clock::time_point tick_deadline(Time at) const;
@@ -173,6 +190,7 @@ class SocketNetwork {
     std::atomic<std::uint64_t> connects{0};
     std::atomic<std::uint64_t> accepts{0};
     std::atomic<std::uint64_t> frames_sent{0};
+    std::atomic<std::uint64_t> flushes{0};
     std::atomic<std::uint64_t> frames_received{0};
     std::atomic<std::uint64_t> egress_hwm{0};
     std::atomic<std::uint64_t> mailbox_hwm{0};

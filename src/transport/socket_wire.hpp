@@ -155,12 +155,20 @@ struct Frame {
 /// Validates a decoded MSG frame against the connection's bound identity.
 /// Returns nullptr when acceptable, else the reject reason. The
 /// authenticated-sender contract: `from` must equal the id the connection
-/// was bound to at handshake ("auth"), and the coordinates must address a
-/// real local destination ("dest").
+/// was bound to at handshake ("auth"), the coordinates must address a real
+/// local destination ("dest"), and — when the process serves multiple
+/// instances (instance_tag_limit > 0) — the tag's instance id
+/// (common/types.hpp layout) must stay below the served bound ("instance"),
+/// so a peer cannot address slab state that was never provisioned.
 [[nodiscard]] inline const char* validate_msg(const Msg& m, PartyId bound_from,
-                                              PartyId local_to, std::size_t n) {
+                                              PartyId local_to, std::size_t n,
+                                              std::uint32_t instance_tag_limit = 0) {
   if (m.from != bound_from) return "auth";
   if (m.to != local_to || m.to >= n || m.from >= n) return "dest";
+  if (instance_tag_limit != 0 &&
+      (m.key.tag >> kInstanceTagShift) >= instance_tag_limit) {
+    return "instance";
+  }
   return nullptr;
 }
 

@@ -33,6 +33,19 @@ for name in sim threads tcp uds; do
   grep -q "$name" "$ERR" || fail "unknown backend: error does not offer '$name'"
 done
 
+# --- 1b. over-long UDS endpoint: rejected at parse time, not at bind -------
+# sockaddr_un::sun_path caps AF_UNIX paths at ~107 bytes; a longer --peers
+# entry must produce an actionable usage error (exit 2) naming the limit
+# instead of a confusing bind() failure deep inside the transport.
+LONG_PATH="/tmp/$(printf 'x%.0s' $(seq 1 120)).sock"
+ERR="$TMPDIR_ROOT/longuds.err"
+"$HYDRA" serve --party 0 --backend uds --peers "$LONG_PATH,$LONG_PATH,$LONG_PATH,$LONG_PATH" \
+    --n 4 --ts 1 --ta 1 --dim 1 2>"$ERR"
+STATUS=$?
+[ "$STATUS" -eq 2 ] || fail "long uds path: expected exit 2, got $STATUS"
+grep -q 'sun_path' "$ERR" || fail "long uds path: error does not name the sun_path limit: $(cat "$ERR")"
+grep -q "$LONG_PATH" "$ERR" || fail "long uds path: error does not name the offending endpoint"
+
 # --- 2. single-process tcp acceptance run ----------------------------------
 if ! "$HYDRA" run --backend=tcp --n 4 --ts 1 --ta 1 --dim 1 \
     --adversary none --corrupt 0 --network sync-worst \

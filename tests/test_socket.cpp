@@ -166,6 +166,52 @@ TEST(SocketWire, ValidateMsgEnforcesAuthThenDest) {
   EXPECT_STREQ(wire::validate_msg(m, 9, 0, 4), "dest");
 }
 
+TEST(SocketWire, InstanceTagRoundTrips) {
+  // The instance id rides the high bits of InstanceKey::tag (common/types.hpp)
+  // and must survive the codec untouched — the mux demultiplexes on it.
+  sim::Message m;
+  const std::uint32_t instance = 0x00ABCDEFu;  // near kMaxInstances
+  m.key = InstanceKey{.tag = (instance << kInstanceTagShift) | 7u, .a = 3, .b = 1};
+  m.kind = 9;
+  m.payload = Bytes{42};
+  const auto frame = wire::decode_frame(wire::encode_msg(0, 1, 5, m));
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->msg.key.tag, m.key.tag);
+  EXPECT_EQ(frame->msg.key.tag >> kInstanceTagShift, instance);
+  EXPECT_EQ(frame->msg.key.tag & kInstanceTagMask, 7u);
+}
+
+TEST(SocketWire, ValidateMsgBoundsInstanceTag) {
+  wire::Msg m;
+  m.from = 2;
+  m.to = 0;
+  m.key.tag = (31u << kInstanceTagShift) | 3u;  // instance 31
+  // Limit 0 = single-instance deployments: the field is not policed.
+  EXPECT_EQ(wire::validate_msg(m, 2, 0, 4, /*instance_tag_limit=*/0), nullptr);
+  // In range: instance 31 < 32.
+  EXPECT_EQ(wire::validate_msg(m, 2, 0, 4, 32), nullptr);
+  // At and past the bound: dropped as "instance".
+  EXPECT_STREQ(wire::validate_msg(m, 2, 0, 4, 31), "instance");
+  EXPECT_STREQ(wire::validate_msg(m, 2, 0, 4, 1), "instance");
+  // Auth still wins first — a forged sender is the stronger signal.
+  EXPECT_STREQ(wire::validate_msg(m, 1, 0, 4, 1), "auth");
+}
+
+TEST(SocketEndpoints, UdsPathLengthValidated) {
+  EXPECT_EQ(transport::validate_uds_endpoint("/tmp/ok.sock"), "");
+  EXPECT_NE(transport::validate_uds_endpoint(""), "");
+  const std::size_t limit = sizeof(sockaddr_un{}.sun_path);
+  const std::string longest_ok(limit - 1, 'a');
+  EXPECT_EQ(transport::validate_uds_endpoint(longest_ok), "");
+  const std::string too_long(limit, 'a');
+  const std::string error = transport::validate_uds_endpoint(too_long);
+  ASSERT_FALSE(error.empty());
+  // Actionable: names the offending path, its size, and the OS limit.
+  EXPECT_NE(error.find(too_long), std::string::npos);
+  EXPECT_NE(error.find(std::to_string(limit - 1)), std::string::npos);
+  EXPECT_NE(error.find("sun_path"), std::string::npos);
+}
+
 // ------------------------------------- authenticated sender, end to end
 
 /// Minimal party: quiescent until a kind-42 message arrives.

@@ -184,6 +184,28 @@ TEST(Sweep, SummaryJsonHasCellsAndFailures) {
       testing::TempDir() + "no_such_dir/x.json", grid, results, 2));
 }
 
+// Regression: cell_key once omitted max_time, us_per_tick and timeout_ms, so
+// a grid that varied ONLY a runtime bound collapsed into one cell and the
+// summary silently averaged across genuinely different configurations.
+TEST(Sweep, CellKeyDistinguishesRuntimeBounds) {
+  const auto base = small_spec(1, harness::Network::kSyncJitter);
+  for (const auto mutate : {+[](harness::RunSpec& s) { s.timeout_ms += 1000; },
+                            +[](harness::RunSpec& s) { s.max_time += 1; },
+                            +[](harness::RunSpec& s) { s.us_per_tick *= 2.0; }}) {
+    auto other = base;
+    mutate(other);
+    const std::vector<harness::RunSpec> grid{base, other};
+    const std::vector<harness::RunResult> results(2);
+    EXPECT_EQ(harness::group_cells(grid, results).size(), 2u);
+  }
+  // Sanity: seed alone must NOT split a cell.
+  const std::vector<harness::RunSpec> same_cell{
+      small_spec(1, harness::Network::kSyncJitter),
+      small_spec(2, harness::Network::kSyncJitter)};
+  const std::vector<harness::RunResult> results(2);
+  EXPECT_EQ(harness::group_cells(same_cell, results).size(), 1u);
+}
+
 // ----------------------------------------------------- satellite regressions
 
 // n = 4, ts = 1, D = 2: the old baseline forced ta = ts = 1, violating
