@@ -9,6 +9,7 @@
 // scheduling does the rest. This is the classical argument of [26, 32] for
 // why D-AA needs genuinely multidimensional safe areas; here it is measured.
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 #include "adversary/schedulers.hpp"
@@ -39,6 +40,10 @@ Tally run_coordinatewise(bool synchronous, std::uint64_t seeds) {
     p.dim = 2;
     p.eps = 1e-3;
     p.delta = 1000;
+    if (const auto err = baselines::CoordinatewiseParty::feasibility_error(p)) {
+      std::fprintf(stderr, "error: %s\n", err->c_str());
+      std::exit(2);
+    }
     // Byzantine slot 0 runs the honest code with the box corner (1,1) —
     // inside both coordinate ranges, far outside the honest hull.
     const std::vector<geo::Vec> inputs{

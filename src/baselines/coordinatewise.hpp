@@ -15,6 +15,9 @@
 // measures.
 #pragma once
 
+#include <optional>
+#include <string>
+
 #include "common/assert.hpp"
 #include "protocols/session.hpp"
 
@@ -22,6 +25,22 @@ namespace hydra::baselines {
 
 class CoordinatewiseParty final : public sim::IParty {
  public:
+  /// Why the decomposition cannot run for `params`, or nullopt when it can.
+  /// Callers with a user (CLI, benches) surface this BEFORE constructing a
+  /// party — the constructor aborts on infeasible parameters, which is the
+  /// right contract for protocol code but useless as a user error.
+  [[nodiscard]] static std::optional<std::string> feasibility_error(
+      const protocols::Params& params) {
+    protocols::Params scalar = params;
+    scalar.dim = 1;
+    if (scalar.feasible()) return std::nullopt;
+    return "coordinatewise decomposition runs one 1-D session per "
+           "coordinate, which needs n > 2 ts + ta and n > 3 ts; n=" +
+           std::to_string(params.n) + " ts=" + std::to_string(params.ts) +
+           " ta=" + std::to_string(params.ta) +
+           " violates that (raise n or lower ts/ta)";
+  }
+
   /// `params.dim` is the vector dimension D; each coordinate runs a 1-D
   /// session with the same (n, ts, ta, eps, delta). The 1-D sessions need
   /// n > 3 ts and n > 2 ts + ta (the library's D = 1 requirements).
@@ -30,7 +49,7 @@ class CoordinatewiseParty final : public sim::IParty {
     HYDRA_ASSERT(input.dim() == dim_);
     protocols::Params scalar = params;
     scalar.dim = 1;
-    HYDRA_ASSERT_MSG(scalar.feasible(),
+    HYDRA_ASSERT_MSG(!feasibility_error(params).has_value(),
                      "1-D sessions need n > 2 ts + ta and n > 3 ts");
     for (std::uint32_t d = 0; d < dim_; ++d) {
       router_.add_session(d, scalar, geo::Vec{input[d]});

@@ -50,7 +50,7 @@ void SyncLockstepParty::on_message(sim::Env& env, PartyId from,
   const std::uint64_t round = msg.key.b;
   // Late (or absurdly early) traffic is dropped — a timeout-based receiver.
   if (round != round_) return;
-  auto value = protocols::decode_value(msg.payload, config_.dim);
+  auto value = protocols::decode_value(msg.payload, config_.dim, config_.domain);
   if (!value) return;
   received_[round].emplace(from, std::move(*value));
 }
@@ -69,7 +69,12 @@ void SyncLockstepParty::close_round(sim::Env& env) {
     std::vector<geo::Vec> values;
     values.reserve(m.size());
     for (const auto& [party, value] : m) values.push_back(value);
-    if (const auto mid = geo::safe_area_midpoint(values, k)) {
+    if (config_.domain != nullptr) {
+      // Domain-dispatched rule (ta = 0, trim exactly k). The domain's own
+      // fallback keeps the rule total, so no keep-old-value branch.
+      const hydra::domain::AggregateSpec spec{config_.n, config_.t, 0, false, {}};
+      value_ = config_.domain->aggregate(spec, values).value;
+    } else if (const auto mid = geo::safe_area_midpoint(values, k)) {
       value_ = *mid;
     }
     // An empty safe area cannot happen under true synchrony (Lemma 5.5 with

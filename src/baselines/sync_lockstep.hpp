@@ -31,6 +31,7 @@
 #include <optional>
 #include <vector>
 
+#include "domain/domain.hpp"
 #include "geometry/vec.hpp"
 #include "protocols/codec.hpp"
 #include "sim/env.hpp"
@@ -44,7 +45,14 @@ struct SyncLockstepConfig {
   Duration delta = 1000;   ///< round length == assumed delay bound
   std::uint64_t rounds = 1;  ///< R, from known input bounds
 
-  [[nodiscard]] bool feasible() const noexcept { return n > (dim + 1) * t; }
+  /// Value domain; nullptr keeps the original Euclidean code path (including
+  /// its keep-the-old-value reaction to an empty safe area) byte-identical.
+  const hydra::domain::ValueDomain* domain = nullptr;
+
+  [[nodiscard]] bool feasible() const noexcept {
+    return domain != nullptr ? domain->feasible(n, t, 0, dim)
+                             : n > (dim + 1) * t;
+  }
 };
 
 class SyncLockstepParty final : public sim::IParty {

@@ -1,0 +1,78 @@
+// TreeDomain: ValueDomain over the vertices of a fixed rooted tree given as
+// a parent array (parent[0] == 0 is the root; parents precede children).
+// Exposed as a class — unlike the Euclidean singleton — so tests and the
+// registry can instantiate arbitrary shapes.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "domain/domain.hpp"
+
+namespace hydra::domain {
+
+class TreeDomain : public ValueDomain {
+ public:
+  TreeDomain(std::string name, std::vector<std::uint32_t> parent);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+  [[nodiscard]] bool validate(const geo::Vec& v) const override;
+  [[nodiscard]] double distance(const geo::Vec& a,
+                                const geo::Vec& b) const override;
+  [[nodiscard]] AggregateResult aggregate(
+      const AggregateSpec& spec, std::span<const geo::Vec> values) const override;
+  [[nodiscard]] bool in_validity_set(std::span<const geo::Vec> basis,
+                                     const geo::Vec& candidate,
+                                     double tol) const override;
+  [[nodiscard]] double contraction_factor() const noexcept override {
+    return 0.5;
+  }
+  [[nodiscard]] double contraction_bound(double factor,
+                                         double prev_diameter) const override;
+  [[nodiscard]] std::uint64_t sufficient_iterations(double eps,
+                                                    double diam) const override;
+  [[nodiscard]] bool feasible(std::size_t n, std::size_t ts, std::size_t ta,
+                              std::size_t dim) const noexcept override;
+  [[nodiscard]] std::optional<std::size_t> required_dim() const noexcept override;
+  [[nodiscard]] double min_eps() const noexcept override;
+  [[nodiscard]] std::optional<std::vector<geo::Vec>> make_inputs(
+      std::size_t n, std::size_t dim, double scale,
+      std::uint64_t seed) const override;
+  [[nodiscard]] std::string format_value(const geo::Vec& v) const override;
+
+  [[nodiscard]] std::size_t vertex_count() const noexcept {
+    return parent_.size();
+  }
+
+ private:
+  struct Label {
+    std::uint32_t vertex = 0;
+    double residual = 0.0;  ///< |raw - vertex|: 0 exactly on a valid label
+  };
+
+  [[nodiscard]] Label label_of(const geo::Vec& v) const;
+  [[nodiscard]] std::uint32_t lca(std::uint32_t a, std::uint32_t b) const;
+  [[nodiscard]] std::uint32_t vertex_distance(std::uint32_t a,
+                                              std::uint32_t b) const;
+  [[nodiscard]] std::uint32_t vertex_at(std::uint32_t a, std::uint32_t b,
+                                        std::uint32_t steps) const;
+  void add_path(std::uint32_t a, std::uint32_t b,
+                std::set<std::uint32_t>& out) const;
+  [[nodiscard]] std::set<std::uint32_t> hull(
+      const std::vector<std::uint32_t>& labels) const;
+
+  std::string name_;
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> depth_;
+};
+
+/// Complete binary tree in heap layout: parent[v] = (v - 1) / 2.
+[[nodiscard]] std::vector<std::uint32_t> binary_tree_parents(
+    std::size_t vertices);
+
+/// Path graph (a line): parent[v] = v - 1.
+[[nodiscard]] std::vector<std::uint32_t> path_parents(std::size_t vertices);
+
+}  // namespace hydra::domain

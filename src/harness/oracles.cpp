@@ -5,17 +5,19 @@
 namespace hydra::harness {
 
 Verdict check_d_aa(std::span<const geo::Vec> outputs, std::size_t expected_outputs,
-                   std::span<const geo::Vec> honest_inputs, double eps, double tol) {
+                   std::span<const geo::Vec> honest_inputs, double eps, double tol,
+                   const hydra::domain::ValueDomain* dom) {
+  const auto& d = hydra::domain::resolve(dom);
   Verdict v;
   v.live = outputs.size() == expected_outputs && expected_outputs > 0;
   v.valid = true;
   for (const auto& out : outputs) {
-    if (!geo::in_convex_hull(honest_inputs, out, tol)) {
+    if (!d.in_validity_set(honest_inputs, out, tol)) {
       v.valid = false;
       break;
     }
   }
-  v.output_diameter = geo::diameter(outputs);
+  v.output_diameter = d.diameter(outputs);
   v.agreed = v.output_diameter <= eps + 1e-9;
   return v;
 }

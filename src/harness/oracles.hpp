@@ -5,6 +5,7 @@
 
 #include <span>
 
+#include "domain/domain.hpp"
 #include "geometry/vec.hpp"
 
 namespace hydra::harness {
@@ -21,10 +22,12 @@ struct Verdict {
 /// Evaluates the three D-AA properties. `outputs` are the honest outputs
 /// actually produced (may be fewer than honest parties if liveness failed;
 /// pass expected_outputs to detect that). `tol` absorbs floating error in
-/// the hull membership test.
+/// the hull membership test. `dom` selects the value domain's validity set
+/// and metric; nullptr means Euclidean (the original LP hull test).
 [[nodiscard]] Verdict check_d_aa(std::span<const geo::Vec> outputs,
                                  std::size_t expected_outputs,
                                  std::span<const geo::Vec> honest_inputs, double eps,
-                                 double tol = 1e-5);
+                                 double tol = 1e-5,
+                                 const hydra::domain::ValueDomain* dom = nullptr);
 
 }  // namespace hydra::harness

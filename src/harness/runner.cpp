@@ -15,6 +15,7 @@
 #include "baselines/sync_lockstep.hpp"
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "domain/domain.hpp"
 #include "faults/faults.hpp"
 #include "harness/stats.hpp"
 #include "net/backend.hpp"
@@ -44,9 +45,9 @@ std::set<PartyId> corrupted_set(std::size_t corruptions) {
 }
 
 std::unique_ptr<sim::IParty> make_byzantine(Adversary kind, const RunSpec& spec,
-                                            PartyId id, const geo::Vec& input,
+                                            const Params& p, PartyId id,
+                                            const geo::Vec& input,
                                             std::uint64_t salt) {
-  const Params& p = spec.params;
   switch (kind) {
     case Adversary::kNone:
     case Adversary::kSilent:
@@ -83,7 +84,7 @@ std::unique_ptr<sim::IParty> make_byzantine(Adversary kind, const RunSpec& spec,
           Adversary::kHaltRusher, Adversary::kSpammer,     Adversary::kCrash,
           Adversary::kTurncoat,
       };
-      return make_byzantine(kCycle[id % std::size(kCycle)], spec, id, input, salt);
+      return make_byzantine(kCycle[id % std::size(kCycle)], spec, p, id, input, salt);
     }
   }
   return std::make_unique<adversary::SilentParty>();
@@ -146,6 +147,9 @@ std::uint64_t spec_run_id(const RunSpec& spec) {
                   std::to_string(spec.params.delta) + '|' +
                   std::to_string(spec.seed) + '|' + spec.faults + '|' +
                   spec.backend;
+  // Appended only for non-Euclidean domains so every pre-domain-layer run id
+  // (and with it the merge tool's cross-version stitching) stays stable.
+  if (!spec.domain.empty() && spec.domain != "euclid") s += '|' + spec.domain;
   std::uint64_t h = 1469598103934665603ull;
   for (const char c : s) {
     h ^= static_cast<unsigned char>(c);
@@ -176,6 +180,9 @@ std::string meta_line(const RunSpec& spec,
   w.kv("ta", std::uint64_t{cfg.has_value() ? cfg->ta : p.ta});
   w.kv("dim", std::uint64_t{p.dim});
   w.kv("eps", p.eps);
+  if (!spec.domain.empty() && spec.domain != "euclid") {
+    w.kv("domain", spec.domain);
+  }
   w.kv("mode", obs::to_string(spec.monitors));
   w.kv("contraction", cfg.has_value() ? cfg->contraction_factor : 0.0);
   w.kv("hull_tol", cfg.has_value() ? cfg->hull_tol : 0.0);
@@ -222,6 +229,9 @@ void write_metrics_json(const RunSpec& spec, const RunResult& result,
   w.kv("seed", spec.seed);
   w.kv("faults", spec.faults);
   w.kv("backend", spec.backend);
+  if (!spec.domain.empty() && spec.domain != "euclid") {
+    w.kv("domain", spec.domain);
+  }
   w.end_object();
 
   w.key("verdict");
@@ -483,10 +493,9 @@ class ObsSession {
 ///    instances that honest parties must echo, legitimately inflating
 ///    honest counts beyond the structural bound.
 std::optional<obs::MonitorHost::Config> make_monitor_config(
-    const RunSpec& spec, const std::vector<bool>& honest,
+    const RunSpec& spec, const Params& p, const std::vector<bool>& honest,
     std::vector<geo::Vec> honest_inputs) {
   if (spec.monitors == obs::MonitorMode::kOff) return std::nullopt;
-  const Params& p = spec.params;
   obs::MonitorHost::Config cfg;
   cfg.mode = spec.monitors;
   cfg.n = p.n;
@@ -496,9 +505,12 @@ std::optional<obs::MonitorHost::Config> make_monitor_config(
   cfg.eps = p.eps;
   cfg.honest = honest;
   cfg.honest_inputs = std::move(honest_inputs);
+  cfg.domain = p.domain;
   if (spec.protocol != Protocol::kSyncLockstep &&
       p.aggregation == protocols::Aggregation::kDiameterMidpoint) {
-    cfg.contraction_factor = std::sqrt(7.0 / 8.0);
+    // The domain's proven factor for the midpoint rule: sqrt(7/8) Euclidean
+    // (Lemma 5.10), 1/2 for tree midpoints.
+    cfg.contraction_factor = domain::resolve(p.domain).contraction_factor();
   }
   const bool schedule_bound_adversary =
       spec.adversary == Adversary::kNone || spec.adversary == Adversary::kSilent ||
@@ -640,7 +652,31 @@ std::string to_string(Protocol protocol) {
 }
 
 RunResult execute(const RunSpec& spec) {
-  const Params& p = spec.params;
+  // Resolve the value domain up front; the resolved pointer rides in the
+  // effective Params every protocol object below receives. nullptr (the
+  // Euclidean default) keeps every downstream path byte-identical to the
+  // pre-domain-layer harness.
+  const hydra::domain::ValueDomain* dom = nullptr;
+  if (!spec.domain.empty() && spec.domain != "euclid") {
+    dom = hydra::domain::find(spec.domain);
+    if (dom == nullptr) {
+      const std::string msg = "unknown RunSpec::domain \"" + spec.domain +
+                              "\"; registered domains: " +
+                              hydra::domain::known_names();
+      HYDRA_ASSERT_MSG(dom != nullptr, msg.c_str());
+    }
+    HYDRA_ASSERT_MSG(spec.protocol == Protocol::kHybrid,
+                     "non-Euclidean domains run the hybrid protocol only "
+                     "(the baselines' thresholds are Euclidean-specific)");
+    if (const auto rd = dom->required_dim()) {
+      HYDRA_ASSERT_MSG(spec.params.dim == *rd,
+                       "RunSpec::params.dim conflicts with the domain's "
+                       "required dimension");
+    }
+  }
+  Params effective = spec.params;
+  effective.domain = dom;
+  const Params& p = effective;
   HYDRA_ASSERT(spec.corruptions < p.n);
 
   // The fault plan is part of the spec: a party the plan crashes is a faulty
@@ -660,8 +696,16 @@ RunResult execute(const RunSpec& spec) {
   // Inputs and the honest mask are pure functions of the spec; computing
   // them before the session starts lets the monitor config see the honest
   // inputs without emitting any observability events.
-  const auto inputs =
+  auto inputs =
       make_inputs(spec.workload, p.n, p.dim, spec.workload_scale, spec.seed);
+  if (dom != nullptr) {
+    // Discrete domains generate their own inputs (vertex labels); the
+    // Euclidean workload generators keep serving every other run untouched.
+    if (auto domain_inputs =
+            dom->make_inputs(p.n, p.dim, spec.workload_scale, spec.seed)) {
+      inputs = std::move(*domain_inputs);
+    }
+  }
   std::vector<bool> honest_mask(p.n, true);
   std::vector<geo::Vec> honest_inputs;
   for (PartyId id = 0; id < p.n; ++id) {
@@ -681,7 +725,7 @@ RunResult execute(const RunSpec& spec) {
           ? 0u
           : 1u + *std::min_element(spec.socket_local.begin(),
                                    spec.socket_local.end());
-  auto monitor_config = make_monitor_config(spec, honest_mask, honest_inputs);
+  auto monitor_config = make_monitor_config(spec, p, honest_mask, honest_inputs);
   const std::string meta = meta_line(spec, monitor_config, proc, honest_mask);
   const ObsSession obs_session(spec, std::move(monitor_config), proc);
 
@@ -750,7 +794,8 @@ RunResult execute(const RunSpec& spec) {
       .dim = p.dim,
       .delta = p.delta,
       .rounds = protocols::sufficient_iterations(
-          p.eps, std::max(1e-12, geo::diameter(inputs)))};
+          p.eps, std::max(1e-12, geo::diameter(inputs))),
+      .domain = dom};
 
   // In multi-process socket mode only the parties hosted here are judged:
   // remote slots never run in this process, so their observers would read
@@ -783,7 +828,7 @@ RunResult execute(const RunSpec& spec) {
   for (PartyId id = 0; id < p.n; ++id) {
     const bool corrupt = id < spec.corruptions && spec.adversary != Adversary::kNone;
     if (corrupt) {
-      parties.push_back(make_byzantine(spec.adversary, spec, id, inputs[id], 0x9e3779b9));
+      parties.push_back(make_byzantine(spec.adversary, spec, p, id, inputs[id], 0x9e3779b9));
       continue;
     }
     // A fault-plan-crashed party runs the honest protocol (the injector
@@ -863,7 +908,7 @@ RunResult execute(const RunSpec& spec) {
   result.sent_per_party = stats.wire.sent_per_party;
   result.messages_per_round = stats.wire.messages_per_round;
   result.bytes_per_round = stats.wire.bytes_per_round;
-  result.input_diameter = geo::diameter(honest_inputs);
+  result.input_diameter = hydra::domain::resolve(dom).diameter(honest_inputs);
   result.messages = stats.wire.messages;
   result.bytes = stats.wire.bytes;
   result.end_time = stats.end_time;
@@ -905,12 +950,14 @@ RunResult execute(const RunSpec& spec) {
         for (const auto* party : hybrid_parties) {
           layer.push_back(party->value_history()[i]);
         }
-        result.iteration_diameters.push_back(geo::diameter(layer));
+        result.iteration_diameters.push_back(
+            hydra::domain::resolve(dom).diameter(layer));
       }
     }
   }
 
-  result.verdict = check_d_aa(outputs, expected, honest_inputs, p.eps);
+  result.verdict = check_d_aa(outputs, expected, honest_inputs, p.eps,
+                              /*tol=*/1e-5, dom);
 
   if (obs_session.active()) {
     // Per-iteration latency in units of Delta, across every honest party:

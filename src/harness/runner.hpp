@@ -87,6 +87,15 @@ struct RunSpec {
   /// identical protocol objects through the identical net::EgressPipeline /
   /// net::DeliveryGate path; only the scheduler differs.
   std::string backend = "sim";
+
+  /// Value domain (src/domain/; registry-backed like `backend`): "euclid" —
+  /// the paper's R^D — or a registered discrete instance ("tree", "path").
+  /// Non-Euclidean domains run the hybrid protocol only, force the domain's
+  /// required dimension, and dispatch aggregation, validity, and diameter
+  /// through the domain's metric. "euclid" keeps every code path and output
+  /// byte-identical to the pre-domain-layer harness.
+  std::string domain = "euclid";
+
   /// Wall-clock microseconds per tick (wall-clock backends only).
   double us_per_tick = 5.0;
   /// Wall-clock run cap in milliseconds (wall-clock backends only).

@@ -60,6 +60,8 @@ std::string cell_key(const RunSpec& spec) {
       << '|' << spec.corruptions << '|' << spec.workload_scale << '|'
       << spec.faults << '|' << spec.backend << '|' << spec.max_time << '|'
       << spec.us_per_tick << '|' << spec.timeout_ms;
+  // Gated like the trace meta and run id: pre-domain-layer keys unchanged.
+  if (!spec.domain.empty() && spec.domain != "euclid") key << '|' << spec.domain;
   return key.str();
 }
 
@@ -187,6 +189,9 @@ bool write_sweep_summary_json(const std::string& path,
     w.kv("delta", std::int64_t{spec.params.delta});
     w.kv("faults", spec.faults);
     w.kv("backend", spec.backend);
+    if (!spec.domain.empty() && spec.domain != "euclid") {
+      w.kv("domain", spec.domain);
+    }
     w.end_object();
 
     Stats rounds;

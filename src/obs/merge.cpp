@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/types.hpp"
+#include "domain/domain.hpp"
 #include "geometry/vec.hpp"
 #include "obs/context.hpp"
 #include "obs/flatjson.hpp"
@@ -114,8 +115,8 @@ bool load_stream(const std::string& path, Stream& s, std::size_t& skipped,
 
 /// Fields every process must agree on; a mismatch means the traces are from
 /// different runs and stitching them would silently lie.
-constexpr const char* kSpecKeys[] = {"run_id", "seed", "n",  "ts",
-                                     "ta",     "dim",  "eps"};
+constexpr const char* kSpecKeys[] = {"run_id", "seed", "n",   "ts",
+                                     "ta",     "dim",  "eps", "domain"};
 
 }  // namespace
 
@@ -270,6 +271,10 @@ MergeResult merge_traces(const std::vector<std::string>& paths) {
     cfg.eps = flatjson::real(meta, "eps");
     cfg.contraction_factor = flatjson::real(meta, "contraction");
     cfg.hull_tol = flatjson::real(meta, "hull_tol");
+    // Absent "domain" key = pre-domain-layer trace = Euclidean (nullptr).
+    if (const auto dom_name = flatjson::str(meta, "domain"); !dom_name.empty()) {
+      cfg.domain = hydra::domain::find(dom_name);
+    }
     cfg.budget.msgs_fixed = flatjson::unum(meta, "msgs_fixed");
     cfg.budget.msgs_per_iteration = flatjson::unum(meta, "msgs_per_it");
     cfg.budget.bytes_fixed = flatjson::unum(meta, "bytes_fixed");

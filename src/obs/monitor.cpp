@@ -3,6 +3,7 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "domain/domain.hpp"
 #include "geometry/convex.hpp"
 #include "obs/context.hpp"
 #include "obs/metrics.hpp"
@@ -187,14 +188,17 @@ void MonitorHost::on_value(Time t, PartyId party, std::uint32_t iteration,
   // tolerant test; short-circuiting it keeps the LP away from near-degenerate
   // layers (post-convergence diameters ~1e-16 make the normalized tolerance
   // blow up) and skips the solve entirely in the common converged case.
+  // (Sound for every domain: in_validity_set accepts members of the basis,
+  // and hull_tol is far below any discrete domain's vertex spacing.)
+  const auto& dom = hydra::domain::resolve(config_.domain);
   const auto near_vertex = [&](const std::vector<geo::Vec>& pts) {
     for (const auto& p : pts) {
-      if (geo::distance(p, value) <= config_.hull_tol) return true;
+      if (dom.distance(p, value) <= config_.hull_tol) return true;
     }
     return false;
   };
   if (hull != nullptr && !hull->empty() && !near_vertex(*hull) &&
-      !geo::in_convex_hull(*hull, value, config_.hull_tol)) {
+      !dom.in_validity_set(*hull, value, config_.hull_tol)) {
     report(Violation{
         "validity", party, iteration, t, cause,
         format("party %u iteration-%u value escapes the hull of %zu honest "
@@ -211,13 +215,13 @@ void MonitorHost::on_value(Time t, PartyId party, std::uint32_t iteration,
   // honest diameter against factor * diameter(k - 1) (Lemma 5.10's sqrt(7/8)
   // for the midpoint rule).
   if (layer.size() == honest_count_ && honest_count_ > 0) {
-    const double diam = geo::diameter(layer);
+    const double diam = dom.diameter(layer);
     layer_diameters_[iteration] = diam;
     if (config_.contraction_factor > 0.0 && iteration > 0) {
       const auto prev = layer_diameters_.find(iteration - 1);
       if (prev != layer_diameters_.end()) {
         const double bound =
-            config_.contraction_factor * prev->second + 1e-9 * (1.0 + prev->second);
+            dom.contraction_bound(config_.contraction_factor, prev->second);
         if (diam > bound) {
           report(Violation{
               "contraction", party, iteration, t, cause,

@@ -56,6 +56,7 @@
 
 #include "common/serialize.hpp"
 #include "common/types.hpp"
+#include "domain/domain.hpp"
 #include "geometry/vec.hpp"
 
 namespace hydra::obs {
@@ -118,6 +119,10 @@ class MonitorHost {
     double contraction_factor = 0.0;
     /// Absolute tolerance for the hull-membership LP (matches the oracle's).
     double hull_tol = 1e-5;
+    /// Value domain the validity/contraction monitors dispatch through;
+    /// nullptr means Euclidean (geo::in_convex_hull / geo::diameter — the
+    /// pre-domain-layer behavior, bit for bit).
+    const hydra::domain::ValueDomain* domain = nullptr;
     /// Zero coefficients disable the complexity monitor (the registering
     /// code leaves it off for adversaries that can open protocol instances
     /// beyond the honest schedule, e.g. spam/equivocation).

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "domain/domain.hpp"
 #include "obs/flatjson.hpp"
 #include "obs/monitor.hpp"
 
@@ -99,6 +100,12 @@ struct TraceSummary {
   std::vector<ViolationRow> violations;
   std::uint64_t total_violations = 0;
   std::int64_t max_iteration = 0;
+  /// Meta "domain" key; empty on Euclidean (and pre-domain-layer) traces.
+  std::string domain;
+  /// Latest per-party `value` event: party -> (iteration, coordinates).
+  /// Collected only for non-Euclidean traces — value lines carry arrays, so
+  /// Euclidean scans skip them exactly as they always did.
+  std::map<std::int64_t, std::pair<std::int64_t, std::vector<double>>> last_values;
   std::vector<FaultRow> faults;
   std::uint64_t total_faults = 0;
   std::map<std::string, std::uint64_t> faults_by_kind;
@@ -110,7 +117,21 @@ TraceSummary scan_trace(std::istream& in) {
   while (std::getline(in, line)) {
     const auto kv = parse_flat_object(line);
     const std::string ev = str(kv, "ev");
-    if (ev.empty()) continue;
+    if (ev.empty()) {
+      // Array-carrying lines (the meta header, per-party `value` events)
+      // fail the flat parse and were never part of the event count; scoop
+      // the domain name and the running values out of them for the
+      // domain-aware sections without disturbing that count.
+      const auto akv = parse_object_arrays(line);
+      const std::string aev = str(akv, "ev");
+      if (aev == "meta" && s.domain.empty()) {
+        s.domain = str(akv, "domain");
+      } else if (aev == "value" && !s.domain.empty()) {
+        s.last_values[num(akv, "party")] = {num(akv, "it"),
+                                            flatjson::parse_reals(str(akv, "v"))};
+      }
+      continue;
+    }
     ++s.events;
     s.end_time = std::max(s.end_time, num(kv, "t"));
     if (ev == "send") {
@@ -138,6 +159,13 @@ TraceSummary scan_trace(std::istream& in) {
       }
     } else if (ev == "round_end") {
       s.max_iteration = std::max(s.max_iteration, num(kv, "it"));
+    } else if (ev == "value") {
+      // A 1-D coordinate list ("v":[3]) has no comma, so it survives the
+      // flat parse; multi-D value lines land in the ev.empty() branch above.
+      if (!s.domain.empty()) {
+        s.last_values[num(kv, "party")] = {num(kv, "it"),
+                                           flatjson::parse_reals(str(kv, "v"))};
+      }
     } else if (ev == "invariant.violation") {
       s.total_violations += 1;
       if (s.violations.size() < kMaxViolationRows) {
@@ -505,9 +533,47 @@ std::size_t render_report(std::istream& trace, const std::string& metrics_json,
     }
   }
 
+  // Domain dispatch: a non-Euclidean trace names its value domain in the
+  // meta header (and the metrics spec). Euclidean traces carry neither key,
+  // so every rendering below falls through to the historical output.
+  const std::string domain_name =
+      !s.domain.empty() ? s.domain : str(spec, "domain");
+  const hydra::domain::ValueDomain* dom =
+      !domain_name.empty() && domain_name != "euclid"
+          ? hydra::domain::find(domain_name)
+          : nullptr;
+
   r.section("Convergence (honest diameter per iteration)");
   if (s.diameter_series.empty()) {
     r.para("No honest_diameter series in the trace.");
+  } else if (dom != nullptr) {
+    r.chart("Honest value diameter (graph distance, edge count) over virtual "
+            "time — the path-midpoint rule contracts the geodesic hull by " +
+                fmt_double(dom->contraction_factor()) +
+                " per iteration (Fuchs et al., arXiv:2502.05591):",
+            s.diameter_series);
+    std::vector<std::vector<std::string>> rows;
+    for (std::size_t i = 0; i < s.diameter_series.size(); ++i) {
+      const double d = s.diameter_series[i].second;
+      const double prev = i > 0 ? s.diameter_series[i - 1].second : 0.0;
+      rows.push_back({std::to_string(i), fmt_double(d),
+                      i > 0 && prev > 0.0 ? fmt_double(d / prev) : "-"});
+    }
+    r.table({"iteration", "diameter", "ratio"}, rows);
+    if (!s.last_values.empty()) {
+      // Values are vertex labels, not coordinate tuples — render them with
+      // the domain's formatter so a tree report reads "vertex 12", not
+      // "(12)".
+      r.para("Final honest values (domain \"" + domain_name +
+             "\", vertex labels):");
+      std::vector<std::vector<std::string>> value_rows;
+      for (const auto& [party, entry] : s.last_values) {
+        value_rows.push_back(
+            {std::to_string(party), std::to_string(entry.first),
+             dom->format_value(geo::Vec(std::vector<double>(entry.second)))});
+      }
+      r.table({"party", "last iteration", "value"}, value_rows);
+    }
   } else {
     r.chart("Honest value diameter over virtual time — the paper predicts "
             "contraction by sqrt(7/8) per iteration (Lemma 5.10):",

@@ -1,12 +1,9 @@
 #include "protocols/aa_iteration.hpp"
 
-#include <algorithm>
 #include <atomic>
 
 #include "common/assert.hpp"
-#include "common/combinatorics.hpp"
-#include "geometry/convex.hpp"
-#include "geometry/safe_area.hpp"
+#include "domain/domain.hpp"
 #include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prof.hpp"
@@ -16,15 +13,14 @@ namespace {
 
 // The fallback count lives in the run's obs::Context when one is installed
 // (parallel sweeps run many isolated counters at once) and in a process-wide
-// slot otherwise.
+// slot otherwise. The domain layer cannot see obs, so it reports fallbacks
+// in AggregateResult and this wrapper notes them.
 void note_fallback() {
   obs::safe_area_fallback_slot().fetch_add(1);
   if (obs::enabled()) {
     obs::registry().counter("aa.safe_area_fallbacks").inc();
   }
 }
-
-geo::Vec compute_new_value_impl(const Params& params, const PairList& m);
 
 }  // namespace
 
@@ -40,54 +36,16 @@ geo::Vec compute_new_value(const Params& params, const PairList& m) {
   // call count stays a registry metric.
   HYDRA_PROF_SCOPE("aa.safe_area");
   if (obs::enabled()) obs::registry().counter("aa.safe_area_calls").inc();
-  return compute_new_value_impl(params, m);
-}
 
-namespace {
-
-geo::Vec compute_new_value_impl(const Params& params, const PairList& m) {
   HYDRA_ASSERT(m.size() >= params.n - params.ts);
   HYDRA_ASSERT(m.size() <= params.n);
-  const std::size_t k = m.size() - (params.n - params.ts);
-  const std::size_t t = std::max(k, params.ta);
+  const domain::AggregateSpec spec{
+      params.n, params.ts, params.ta,
+      params.aggregation == Aggregation::kCentroid, params.safe_opts};
   const auto values = values_of(m);
-
-  const auto pick = [&params](const geo::SafeArea& sa) {
-    return params.aggregation == Aggregation::kCentroid ? sa.centroid_rule()
-                                                        : sa.midpoint_rule();
-  };
-
-  auto opts = params.safe_opts;
-  const auto sa = geo::SafeArea::compute(values, t, opts);
-  if (auto v = pick(sa)) return *v;
-
-  // Lemma 5.5 says this is unreachable mathematically; numerically the exact
-  // kernel can lose a measure-zero intersection. Retry looser, then take an
-  // LP witness.
-  for (const double tol : {1e-10, 1e-8}) {
-    opts.clip_tol = tol;
-    const auto relaxed = geo::SafeArea::compute(values, t, opts);
-    if (auto v = pick(relaxed)) {
-      note_fallback();
-      return *v;
-    }
-  }
-
-  std::vector<std::vector<geo::Vec>> hulls;
-  for_each_combination(values.size(), t, [&](const std::vector<std::size_t>& removed) {
-    const auto kept = complement_indices(values.size(), removed);
-    std::vector<geo::Vec> h;
-    h.reserve(kept.size());
-    for (auto i : kept) h.push_back(values[i]);
-    hulls.push_back(std::move(h));
-  });
-  const auto witness = geo::intersection_point(hulls, 1e-9);
-  HYDRA_ASSERT_MSG(witness.has_value(),
-                   "safe area empty despite Lemma 5.5 preconditions");
-  note_fallback();
-  return *witness;
+  auto result = domain::resolve(params.domain).aggregate(spec, values);
+  for (std::uint32_t i = 0; i < result.fallbacks; ++i) note_fallback();
+  return std::move(result.value);
 }
-
-}  // namespace
 
 }  // namespace hydra::protocols

@@ -21,12 +21,14 @@ Bytes encode_value(const geo::Vec& v) {
   return w.take();
 }
 
-std::optional<geo::Vec> decode_value(const Bytes& data, std::size_t dim) {
+std::optional<geo::Vec> decode_value(const Bytes& data, std::size_t dim,
+                                     const hydra::domain::ValueDomain* dom) {
   Reader r(data);
   auto coords = r.f64_vec(static_cast<std::uint32_t>(dim));
   if (!r.ok() || !r.at_end() || coords.size() != dim) return std::nullopt;
   geo::Vec v(std::move(coords));
   if (!finite_vec(v)) return std::nullopt;
+  if (dom != nullptr && !dom->validate(v)) return std::nullopt;
   return v;
 }
 
@@ -41,7 +43,8 @@ Bytes encode_pairs(const PairList& pairs) {
 }
 
 std::optional<PairList> decode_pairs(const Bytes& data, std::size_t dim,
-                                     std::size_t n) {
+                                     std::size_t n,
+                                     const hydra::domain::ValueDomain* dom) {
   Reader r(data);
   const std::uint32_t count = r.u32();
   if (!r.ok() || count > n) return std::nullopt;
@@ -54,6 +57,7 @@ std::optional<PairList> decode_pairs(const Bytes& data, std::size_t dim,
     if (!r.ok() || party >= n || coords.size() != dim) return std::nullopt;
     geo::Vec v(std::move(coords));
     if (!finite_vec(v)) return std::nullopt;
+    if (dom != nullptr && !dom->validate(v)) return std::nullopt;
     if (!seen.insert(party).second) return std::nullopt;
     pairs.emplace_back(party, std::move(v));
   }

@@ -14,6 +14,7 @@
 
 #include "common/serialize.hpp"
 #include "common/types.hpp"
+#include "domain/domain.hpp"
 #include "geometry/vec.hpp"
 
 namespace hydra::protocols {
@@ -25,15 +26,21 @@ using PairList = std::vector<std::pair<PartyId, geo::Vec>>;
 
 [[nodiscard]] Bytes encode_value(const geo::Vec& v);
 
-/// Rejects wrong dimension and non-finite coordinates.
-[[nodiscard]] std::optional<geo::Vec> decode_value(const Bytes& data, std::size_t dim);
+/// Rejects wrong dimension and non-finite coordinates; a non-null `dom`
+/// additionally rejects vectors outside the domain's value set (e.g.
+/// non-integral or out-of-range tree labels).
+[[nodiscard]] std::optional<geo::Vec> decode_value(
+    const Bytes& data, std::size_t dim,
+    const hydra::domain::ValueDomain* dom = nullptr);
 
 [[nodiscard]] Bytes encode_pairs(const PairList& pairs);
 
 /// Rejects malformed bytes, party ids >= n, duplicate parties, and invalid
-/// values. Output is sorted by party id.
-[[nodiscard]] std::optional<PairList> decode_pairs(const Bytes& data, std::size_t dim,
-                                                   std::size_t n);
+/// values (domain content validation as in decode_value). Output is sorted
+/// by party id.
+[[nodiscard]] std::optional<PairList> decode_pairs(
+    const Bytes& data, std::size_t dim, std::size_t n,
+    const hydra::domain::ValueDomain* dom = nullptr);
 
 [[nodiscard]] Bytes encode_party_set(const std::set<PartyId>& parties);
 

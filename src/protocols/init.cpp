@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "domain/domain.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "protocols/aa_iteration.hpp"
@@ -24,13 +25,9 @@ void note_transition(const Env& env, const char* what) {
 }  // namespace
 
 std::uint64_t sufficient_iterations(double eps, double diam) {
-  HYDRA_ASSERT(eps > 0.0);
-  if (diam <= eps) return 1;
-  // log base sqrt(7/8) of (eps / diam); the base is < 1 and the argument is
-  // < 1, so the quotient of logs is positive.
-  const double t = std::ceil(std::log(eps / diam) / std::log(std::sqrt(7.0 / 8.0)));
-  HYDRA_ASSERT(t >= 0.0);
-  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(t));
+  // The Euclidean closed form (kept as the free function for existing call
+  // sites); domain-aware callers go through ValueDomain::sufficient_iterations.
+  return domain::euclid().sufficient_iterations(eps, diam);
 }
 
 void InitInstance::start(Env& env, const geo::Vec& input) {
@@ -49,7 +46,7 @@ void InitInstance::start(Env& env, const geo::Vec& input) {
 }
 
 void InitInstance::on_rbc_value(Env& env, PartyId sender, const Bytes& payload) {
-  const auto value = decode_value(payload, params_.dim);
+  const auto value = decode_value(payload, params_.dim, params_.domain);
   if (!value) return;
   m_.emplace(sender, std::move(*value));
   step(env);
@@ -57,7 +54,7 @@ void InitInstance::on_rbc_value(Env& env, PartyId sender, const Bytes& payload) 
 
 void InitInstance::on_rbc_report(Env& env, PartyId sender, const Bytes& payload) {
   if (w_.contains(sender) || pending_reports_.contains(sender)) return;
-  auto report = decode_pairs(payload, params_.dim, params_.n);
+  auto report = decode_pairs(payload, params_.dim, params_.n, params_.domain);
   if (!report || report->size() < params_.quorum()) return;
   pending_reports_.emplace(sender, std::move(*report));
   step(env);
@@ -145,8 +142,10 @@ void InitInstance::step(Env& env, bool at_timer) {
               [](const auto& a, const auto& b) { return a.first < b.first; });
     Output out;
     out.v0 = compute_new_value(params_, ie_sorted);
+    const auto& dom = domain::resolve(params_.domain);
+    const auto estimates = values_of(ie_sorted);
     out.iterations =
-        sufficient_iterations(params_.eps, geo::diameter(values_of(ie_sorted)));
+        dom.sufficient_iterations(params_.eps, dom.diameter(estimates));
     output_ = std::move(out);
     note_transition(env, "output");
     if (obs::enabled()) {

@@ -39,7 +39,7 @@ void ObcInstance::start(Env& env, const geo::Vec& input) {
 }
 
 void ObcInstance::on_rbc_value(Env& env, PartyId sender, const Bytes& payload) {
-  const auto value = decode_value(payload, params_.dim);
+  const auto value = decode_value(payload, params_.dim, params_.domain);
   if (!value) return;  // malformed Byzantine value == never sent
   m_.emplace(sender, std::move(*value));
   step(env);
@@ -47,7 +47,7 @@ void ObcInstance::on_rbc_value(Env& env, PartyId sender, const Bytes& payload) {
 
 void ObcInstance::on_report(Env& env, PartyId from, const Bytes& payload) {
   if (witnesses_.contains(from) || pending_reports_.contains(from)) return;
-  auto report = decode_pairs(payload, params_.dim, params_.n);
+  auto report = decode_pairs(payload, params_.dim, params_.n, params_.domain);
   if (!report) return;
   // "such that |M_P'| >= n - ts": undersized reports never qualify.
   if (report->size() < params_.quorum()) return;

@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "common/types.hpp"
+#include "domain/domain.hpp"
 #include "geometry/safe_area.hpp"
 
 namespace hydra::protocols {
@@ -44,6 +45,11 @@ struct Params {
   /// actually fire; never set outside tests.
   double test_faulty_escape = 0.0;
 
+  /// The value domain the run operates over. nullptr means Euclidean R^D —
+  /// the default everywhere, so pre-domain-layer call sites behave
+  /// byte-identically. Non-owning: registered domains live for the process.
+  const hydra::domain::ValueDomain* domain = nullptr;
+
   // Timing constants, in units of Delta.
   static constexpr int kCRbc = 3;       ///< Theorem 4.2: c_rBC
   static constexpr int kCRbcCond = 2;   ///< Theorem 4.2: c'_rBC
@@ -51,13 +57,14 @@ struct Params {
   static constexpr int kCAaIt = kCObc;                   ///< Section 5: c_AA-it = 5
   static constexpr int kCInit = 2 * kCRbc + kCRbcCond;   ///< Theorem 5.18: c_init = 8
 
-  /// The paper's feasibility condition (Theorem 5.19): (D+1) ts + ta < n.
+  /// The domain's feasibility condition on (n, ts, ta, D). For Euclid this
+  /// is the paper's Theorem 5.19, (D+1) ts + ta < n.
   /// NOTE: the reliable-broadcast substrate (Bracha) additionally needs
   /// n > 3 ts, which is implied whenever D >= 2; for D = 1 the paper uses a
   /// PKI to reach optimal resilience — this library's D = 1 support is
   /// therefore limited to n > 3 ts (documented in README).
   [[nodiscard]] bool feasible() const noexcept {
-    return ta <= ts && n > (dim + 1) * ts + ta && n > 3 * ts;
+    return hydra::domain::resolve(domain).feasible(n, ts, ta, dim);
   }
 
   [[nodiscard]] std::size_t quorum() const noexcept { return n - ts; }

@@ -50,8 +50,9 @@ obs::MonitorHost::Config make_monitor_config(const ServeSpec& spec,
   cfg.eps = p.eps;
   cfg.honest = std::move(honest);
   cfg.honest_inputs = std::move(honest_inputs);
+  cfg.domain = p.domain;
   if (p.aggregation == protocols::Aggregation::kDiameterMidpoint) {
-    cfg.contraction_factor = std::sqrt(7.0 / 8.0);
+    cfg.contraction_factor = domain::resolve(p.domain).contraction_factor();
   }
   // kNone / kSilent / kCrash all follow the honest message schedule, so the
   // Theorem 5.19 complexity budget applies (as in the single-run harness).
@@ -96,6 +97,12 @@ ServeResult run_serve(const ServeSpec& spec) {
     inputs[k] = harness::make_inputs(spec.workload, p.n, p.dim,
                                      spec.workload_scale,
                                      instance_seed(spec.seed, k));
+    if (p.domain != nullptr) {
+      if (auto di = p.domain->make_inputs(p.n, p.dim, spec.workload_scale,
+                                          instance_seed(spec.seed, k))) {
+        inputs[k] = std::move(*di);
+      }
+    }
   }
   const auto is_corrupt_slot = [&](std::uint32_t instance, PartyId id) {
     return corrupt[instance] && id < spec.corruptions;
@@ -259,7 +266,8 @@ ServeResult run_serve(const ServeSpec& spec) {
     out.decided = all_decided;
     if (all_decided) ++result.decided;
     const auto verdict =
-        harness::check_d_aa(outputs, expected, honest_inputs, p.eps);
+        harness::check_d_aa(outputs, expected, honest_inputs, p.eps,
+                            /*tol=*/1e-5, p.domain);
     out.pass = verdict.d_aa();
     out.output_diameter = verdict.output_diameter;
     result.all_pass = result.all_pass && out.pass;

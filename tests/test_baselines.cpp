@@ -163,6 +163,28 @@ TEST(SyncLockstep, BreaksUnderAsynchrony) {
   }
 }
 
+TEST(Coordinatewise, FeasibilityErrorIsActionable) {
+  // The decomposition's 1-D sessions need n > 2 ts + ta and n > 3 ts. An
+  // infeasible configuration must be reportable BEFORE constructing a party
+  // (the constructor aborts, which is useless as a user error).
+  protocols::Params p;
+  p.n = 3;
+  p.ts = 1;
+  p.ta = 1;
+  p.dim = 2;
+  const auto err = baselines::CoordinatewiseParty::feasibility_error(p);
+  ASSERT_TRUE(err.has_value());
+  // Actionable: names the requirement, the offending values, and a fix.
+  EXPECT_NE(err->find("n > 2 ts + ta"), std::string::npos) << *err;
+  EXPECT_NE(err->find("n=3"), std::string::npos) << *err;
+  EXPECT_NE(err->find("ts=1"), std::string::npos) << *err;
+  EXPECT_NE(err->find("ta=1"), std::string::npos) << *err;
+  EXPECT_NE(err->find("raise n or lower ts/ta"), std::string::npos) << *err;
+
+  p.n = 5;  // 5 > 2 + 1 + 1 and 5 > 3: feasible in any dimension
+  EXPECT_FALSE(baselines::CoordinatewiseParty::feasibility_error(p).has_value());
+}
+
 TEST(Coordinatewise, ViolatesValidityWhereHybridDoesNot) {
   // The strawman baseline: D independent 1-D agreements confine outputs to
   // the bounding box, not the hull. With honest inputs near the triangle

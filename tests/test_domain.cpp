@@ -1,0 +1,285 @@
+// Conformance suite for the value-domain layer (src/domain/): every
+// registered domain must satisfy the same contract — codec round-trips,
+// metric axioms, aggregation landing inside the validity set, and the
+// contraction bound actually delivering Πinit's iteration estimate — plus
+// TreeDomain-specific checks (geodesic hulls, path midpoints, integrality)
+// and harness integration (a tree run is deterministic per (spec, seed)).
+//
+// Euclidean BYTE-identity with the pre-domain-layer commit is covered at
+// the CLI level by cli_domain_test.sh against tests/golden/.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "domain/domain.hpp"
+#include "domain/tree.hpp"
+#include "harness/runner.hpp"
+#include "protocols/codec.hpp"
+
+namespace hydra {
+namespace {
+
+using domain::AggregateSpec;
+using domain::TreeDomain;
+using domain::ValueDomain;
+
+/// Deterministic sample values for a domain: its own generator when it has
+/// one (tree/path), a fixed Euclidean set otherwise.
+std::vector<geo::Vec> sample_values(const ValueDomain& dom) {
+  const std::size_t dim = dom.required_dim().value_or(2);
+  if (auto made = dom.make_inputs(7, dim, 10.0, 42)) return std::move(*made);
+  return {geo::Vec{0.0, 0.0}, geo::Vec{10.0, 0.0},  geo::Vec{0.0, 10.0},
+          geo::Vec{3.0, 4.0}, geo::Vec{-2.0, 1.5},  geo::Vec{5.0, 5.0},
+          geo::Vec{1.0, -3.0}};
+}
+
+class DomainConformance : public ::testing::TestWithParam<std::string> {
+ protected:
+  const ValueDomain& dom() const { return *domain::find(GetParam()); }
+};
+
+TEST(DomainRegistry, FindNamesAndResolve) {
+  const auto names = domain::names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "euclid");
+  EXPECT_EQ(names[1], "tree");
+  EXPECT_EQ(names[2], "path");
+  for (const auto& name : names) {
+    const auto* dom = domain::find(name);
+    ASSERT_NE(dom, nullptr) << name;
+    EXPECT_EQ(dom->name(), name);
+    EXPECT_NE(domain::known_names().find(name), std::string::npos);
+  }
+  EXPECT_EQ(domain::find("bogus"), nullptr);
+  // The null pointer means Euclidean everywhere (the byte-identity contract).
+  EXPECT_EQ(&domain::resolve(nullptr), &domain::euclid());
+  EXPECT_EQ(domain::find("euclid"), &domain::euclid());
+}
+
+TEST_P(DomainConformance, ValidatesItsOwnSamples) {
+  for (const auto& v : sample_values(dom())) {
+    EXPECT_TRUE(dom().validate(v)) << dom().format_value(v);
+  }
+}
+
+TEST_P(DomainConformance, CodecRoundTrip) {
+  // The wire format is the domain-agnostic f64 vector; the domain only adds
+  // content validation. A valid value must survive encode→decode with the
+  // domain's validator installed.
+  for (const auto& v : sample_values(dom())) {
+    const auto bytes = protocols::encode_value(v);
+    const auto back = protocols::decode_value(bytes, v.dim(), &dom());
+    ASSERT_TRUE(back.has_value()) << dom().format_value(v);
+    EXPECT_TRUE(*back == v);
+  }
+}
+
+TEST_P(DomainConformance, MetricAxioms) {
+  const auto values = sample_values(dom());
+  for (const auto& a : values) {
+    EXPECT_DOUBLE_EQ(dom().distance(a, a), 0.0);
+    for (const auto& b : values) {
+      const double dab = dom().distance(a, b);
+      EXPECT_GE(dab, 0.0);
+      EXPECT_DOUBLE_EQ(dab, dom().distance(b, a));
+      for (const auto& c : values) {
+        EXPECT_LE(dab, dom().distance(a, c) + dom().distance(c, b) + 1e-12);
+      }
+    }
+  }
+  // diameter is the max pairwise distance.
+  double expected = 0.0;
+  for (const auto& a : values) {
+    for (const auto& b : values) expected = std::max(expected, dom().distance(a, b));
+  }
+  EXPECT_DOUBLE_EQ(dom().diameter(values), expected);
+  EXPECT_DOUBLE_EQ(dom().diameter({}), 0.0);
+}
+
+TEST_P(DomainConformance, AggregateLandsInValiditySet) {
+  // The safe-area rule must emit a value inside the domain's convex closure
+  // of the inputs — this is exactly what the validity monitor checks live.
+  const auto values = sample_values(dom());
+  const AggregateSpec spec{values.size(), 1, 1, false, {}};
+  const auto result = dom().aggregate(spec, values);
+  EXPECT_TRUE(dom().in_validity_set(values, result.value, 1e-6))
+      << dom().format_value(result.value);
+  EXPECT_TRUE(dom().validate(result.value));
+}
+
+TEST_P(DomainConformance, AggregateIsDeterministic) {
+  const auto values = sample_values(dom());
+  const AggregateSpec spec{values.size(), 1, 1, false, {}};
+  const auto a = dom().aggregate(spec, values);
+  const auto b = dom().aggregate(spec, values);
+  EXPECT_TRUE(a.value == b.value);
+  EXPECT_EQ(a.fallbacks, b.fallbacks);
+}
+
+TEST_P(DomainConformance, ContractionBoundDeliversSufficientIterations) {
+  const double factor = dom().contraction_factor();
+  EXPECT_GT(factor, 0.0);
+  EXPECT_LT(factor, 1.0);
+  // Πinit promises that T iterations contract any initial diameter below
+  // eps; iterating the monitor's own per-layer bound must agree (with a
+  // hair of slack for the Euclidean bound's relative epsilon).
+  const double eps = std::max(0.25, dom().min_eps());
+  for (const double diam : {1.0, 9.0, 100.0, 1234.0}) {
+    const auto t = dom().sufficient_iterations(eps, diam);
+    EXPECT_GE(t, 1u);
+    double d = diam;
+    for (std::uint64_t i = 0; i < t; ++i) d = dom().contraction_bound(factor, d);
+    EXPECT_LE(d, eps * (1.0 + 1e-6)) << "diam " << diam << " T " << t;
+  }
+}
+
+TEST_P(DomainConformance, FeasibilityMatrix) {
+  const std::size_t dim = dom().required_dim().value_or(2);
+  EXPECT_TRUE(dom().feasible(7, 1, 1, dim));
+  EXPECT_FALSE(dom().feasible(3, 1, 1, dim));  // n <= 3 ts everywhere
+  EXPECT_FALSE(dom().feasible(7, 1, 2, dim));  // ta > ts everywhere
+}
+
+TEST_P(DomainConformance, FormatValueNonEmpty) {
+  for (const auto& v : sample_values(dom())) {
+    EXPECT_FALSE(dom().format_value(v).empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDomains, DomainConformance,
+                         ::testing::ValuesIn(domain::names()),
+                         [](const auto& info) { return info.param; });
+
+// --- TreeDomain specifics ---------------------------------------------------
+
+// Heap-layout 7-vertex binary tree: 0 -> {1, 2}, 1 -> {3, 4}, 2 -> {5, 6}.
+TEST(TreeDomain, VertexDistances) {
+  const TreeDomain t("t7", domain::binary_tree_parents(7));
+  ASSERT_EQ(t.vertex_count(), 7u);
+  EXPECT_DOUBLE_EQ(t.distance(geo::Vec{3.0}, geo::Vec{3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(t.distance(geo::Vec{3.0}, geo::Vec{1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(t.distance(geo::Vec{3.0}, geo::Vec{4.0}), 2.0);
+  EXPECT_DOUBLE_EQ(t.distance(geo::Vec{3.0}, geo::Vec{5.0}), 4.0);
+  EXPECT_DOUBLE_EQ(t.distance(geo::Vec{0.0}, geo::Vec{6.0}), 2.0);
+}
+
+TEST(TreeDomain, ValidateRejectsNonVertices) {
+  const TreeDomain t("t7", domain::binary_tree_parents(7));
+  EXPECT_TRUE(t.validate(geo::Vec{0.0}));
+  EXPECT_TRUE(t.validate(geo::Vec{6.0}));
+  EXPECT_FALSE(t.validate(geo::Vec{7.0}));    // out of range
+  EXPECT_FALSE(t.validate(geo::Vec{-1.0}));   // negative
+  EXPECT_FALSE(t.validate(geo::Vec{1.5}));    // not a label
+  EXPECT_FALSE(t.validate(geo::Vec{1.0, 2.0}));  // wrong dimension
+  // And the codec enforces it: a Byzantine payload carrying a non-vertex
+  // decodes to nullopt, exactly like a structurally broken frame.
+  EXPECT_FALSE(
+      protocols::decode_value(protocols::encode_value(geo::Vec{1.5}), 1, &t));
+  EXPECT_TRUE(
+      protocols::decode_value(protocols::encode_value(geo::Vec{2.0}), 1, &t));
+}
+
+TEST(TreeDomain, GeodesicValiditySet) {
+  const TreeDomain t("t7", domain::binary_tree_parents(7));
+  const std::vector<geo::Vec> basis{geo::Vec{3.0}, geo::Vec{4.0}};
+  // hull({3, 4}) is the path 3-1-4.
+  EXPECT_TRUE(t.in_validity_set(basis, geo::Vec{1.0}, 1e-6));
+  EXPECT_TRUE(t.in_validity_set(basis, geo::Vec{3.0}, 1e-6));
+  EXPECT_FALSE(t.in_validity_set(basis, geo::Vec{0.0}, 1e-6));
+  EXPECT_FALSE(t.in_validity_set(basis, geo::Vec{5.0}, 1e-6));
+  // A near-miss label (the faulty-escape perturbation shape) is outside.
+  EXPECT_FALSE(t.in_validity_set(basis, geo::Vec{1.04}, 1e-6));
+}
+
+TEST(TreeDomain, MidpointOnPath) {
+  const TreeDomain t("t7", domain::binary_tree_parents(7));
+  // No suspects: the rule reduces to the midpoint of the diameter pair.
+  const std::vector<geo::Vec> leaves{geo::Vec{3.0}, geo::Vec{5.0}};
+  const auto mid = t.aggregate(AggregateSpec{2, 0, 0, false, {}}, leaves);
+  // d(3,5) = 4 via 3-1-0-2-5; two steps from 3 is the root.
+  EXPECT_TRUE(mid.value == geo::Vec{0.0});
+  EXPECT_EQ(mid.fallbacks, 0u);
+}
+
+TEST(TreeDomain, AggregateIntersectsSubsetHulls) {
+  const TreeDomain t("t7", domain::binary_tree_parents(7));
+  // Four leaves, t = 1: the intersection of the four leave-one-out hulls is
+  // {0, 1, 2}; its diameter pair is (1, 2) and the midpoint the root.
+  const std::vector<geo::Vec> leaves{geo::Vec{3.0}, geo::Vec{4.0},
+                                     geo::Vec{5.0}, geo::Vec{6.0}};
+  const auto result = t.aggregate(AggregateSpec{4, 1, 1, false, {}}, leaves);
+  EXPECT_TRUE(result.value == geo::Vec{0.0});
+  EXPECT_EQ(result.fallbacks, 0u);
+}
+
+TEST(TreeDomain, ContractionBoundIsExactCeil) {
+  const TreeDomain t("t7", domain::binary_tree_parents(7));
+  EXPECT_DOUBLE_EQ(t.contraction_bound(0.5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.contraction_bound(0.5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.contraction_bound(0.5, 5.0), 3.0);
+  EXPECT_DOUBLE_EQ(t.contraction_bound(0.5, 10.0), 5.0);
+}
+
+TEST(TreeDomain, MakeInputsDeterministicAndInRange) {
+  const auto& tree = *domain::find("tree");
+  const auto a = tree.make_inputs(9, 1, 10.0, 7);
+  const auto b = tree.make_inputs(9, 1, 10.0, 7);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  ASSERT_EQ(a->size(), 9u);
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_TRUE((*a)[i] == (*b)[i]);
+    EXPECT_TRUE(tree.validate((*a)[i]));
+  }
+  // A different seed moves at least one input.
+  const auto c = tree.make_inputs(9, 1, 10.0, 8);
+  ASSERT_TRUE(c.has_value());
+  bool any_differs = false;
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    if (!((*a)[i] == (*c)[i])) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(TreeDomain, FormatValueIsBareLabel) {
+  const auto& tree = *domain::find("tree");
+  EXPECT_EQ(tree.format_value(geo::Vec{12.0}), "12");
+  // Euclid renders a coordinate tuple instead.
+  EXPECT_EQ(domain::euclid().format_value(geo::Vec{0.25, 1.0}), "(0.25, 1)");
+}
+
+// --- harness integration ----------------------------------------------------
+
+TEST(TreeDomain, HarnessRunIsDeterministicAndIntegral) {
+  harness::RunSpec spec;
+  spec.domain = "tree";
+  spec.params.n = 5;
+  spec.params.ts = 1;
+  spec.params.ta = 1;
+  spec.params.dim = 1;
+  spec.params.eps = 1.0;
+  spec.adversary = harness::Adversary::kSilent;
+  spec.corruptions = 1;
+  spec.seed = 3;
+  spec.monitors = obs::MonitorMode::kStrict;
+  const auto a = harness::execute(spec);
+  const auto b = harness::execute(spec);
+  EXPECT_TRUE(a.verdict.d_aa());
+  EXPECT_EQ(a.monitor_violations, 0u);
+  EXPECT_FALSE(a.monitor_aborted);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_DOUBLE_EQ(a.input_diameter, b.input_diameter);
+  ASSERT_EQ(a.iteration_diameters.size(), b.iteration_diameters.size());
+  for (std::size_t i = 0; i < a.iteration_diameters.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.iteration_diameters[i], b.iteration_diameters[i]);
+    // Tree diameters are whole edge counts.
+    EXPECT_DOUBLE_EQ(a.iteration_diameters[i],
+                     std::rint(a.iteration_diameters[i]));
+  }
+}
+
+}  // namespace
+}  // namespace hydra

@@ -29,6 +29,16 @@
 //   --corrupt 1 --workload ball|simplex|clustered|collinear|gaussian
 //   --scale 10 --seed 1 --seeds 20 --aggregation midpoint|centroid
 //
+// Value domain (src/domain/; docs/ARCHITECTURE.md "The domain layer"):
+//   --domain euclid|tree|path
+//                         euclid (default) is the paper's R^D. tree/path run
+//                         approximate agreement over the vertices of a fixed
+//                         graph (values are integer vertex labels, the safe
+//                         area is an intersection of geodesic hulls). Graph
+//                         domains run the hybrid protocol only, force
+//                         --dim 1, and need --eps >= 1 (1-agreement =
+//                         adjacent vertices)
+//
 // Execution backend (src/net/; docs/ARCHITECTURE.md):
 //   --backend sim|threads|tcp|uds
 //                         sim (default) is the deterministic discrete-event
@@ -141,6 +151,7 @@
 #include <vector>
 
 #include "common/log.hpp"
+#include "domain/domain.hpp"
 #include "faults/faults.hpp"
 #include "harness/perf.hpp"
 #include "harness/runner.hpp"
@@ -185,7 +196,7 @@ struct Options {
                "keys: n ts ta dim eps delta protocol network adversary corrupt\n"
                "      workload scale seed seeds aggregation jobs sweep-json\n"
                "      trace-out metrics-json perf-json log-level monitors faults backend\n"
-               "      stats-json stats-interval\n"
+               "      stats-json stats-interval domain\n"
                "serve/join keys: party peers listen (docs/DEPLOYMENT.md)\n"
                "bench serve keys: instances interarrival linger json (+ run keys)\n"
                "report keys: trace merge merged-out metrics out format title\n"
@@ -215,6 +226,12 @@ void list_values() {
     backends += name;
   }
   std::printf("backend    : %s\n", backends.c_str());
+  std::string domains;
+  for (const auto& name : hydra::domain::names()) {
+    if (!domains.empty()) domains += ' ';
+    domains += name;
+  }
+  std::printf("domain     : %s\n", domains.c_str());
   std::printf("format     : md html (hydra report)\n");
 }
 
@@ -276,7 +293,13 @@ Options parse(int argc, char** argv) {
 
   if (const auto it = kv.find("protocol"); it != kv.end()) {
     const auto p = parse_protocol(it->second);
-    if (!p) usage("unknown protocol");
+    if (!p) {
+      // Actionable: name the rejected value AND every value that would work
+      // (mirrors the backend/domain registry errors below).
+      const std::string msg = "unknown protocol \"" + it->second +
+                              "\"; registered protocols: hybrid sync-lockstep async-mh";
+      usage(msg.c_str());
+    }
     spec.protocol = *p;
   }
   if (const auto it = kv.find("network"); it != kv.end()) {
@@ -331,6 +354,16 @@ Options parse(int argc, char** argv) {
     }
     spec.backend = it->second;
   }
+  if (const auto it = kv.find("domain"); it != kv.end()) {
+    if (hydra::domain::find(it->second) == nullptr) {
+      // Actionable: name the rejected value AND every value that would work.
+      const std::string msg = "unknown domain \"" + it->second +
+                              "\"; registered domains: " +
+                              hydra::domain::known_names();
+      usage(msg.c_str());
+    }
+    spec.domain = it->second;
+  }
   // serve/join deployment keys (ignored by run/sweep).
   const auto split_commas = [](const std::string& s) {
     std::vector<std::string> out;
@@ -370,8 +403,51 @@ Options parse(int argc, char** argv) {
     }
   }
 
-  if (spec.protocol == Protocol::kHybrid && !spec.params.feasible()) {
-    usage("params violate (D+1) ts + ta < n (or n <= 3 ts)");
+  if (spec.domain != "euclid") {
+    // Graph domains: hybrid only (the baselines' thresholds are
+    // Euclidean-specific), the domain's required dimension, and a minimum
+    // eps of one edge (fractional agreement is meaningless on vertices).
+    const auto* dom = hydra::domain::find(spec.domain);
+    if (spec.protocol != Protocol::kHybrid) {
+      const std::string msg =
+          "--domain=" + spec.domain +
+          " runs the hybrid protocol only (the sync-lockstep and async-mh "
+          "baselines are Euclidean-specific); drop --protocol";
+      usage(msg.c_str());
+    }
+    if (const auto rd = dom->required_dim()) {
+      if (kv.count("dim") > 0 && spec.params.dim != *rd) {
+        const std::string msg =
+            "--domain=" + spec.domain + " values are scalar vertex labels "
+            "(dim " + std::to_string(*rd) + "); drop --dim or pass --dim " +
+            std::to_string(*rd);
+        usage(msg.c_str());
+      }
+      spec.params.dim = *rd;
+    }
+    const double min_eps = dom->min_eps();
+    if (kv.count("eps") == 0) {
+      spec.params.eps = std::max(spec.params.eps, min_eps);
+    } else if (spec.params.eps < min_eps) {
+      const std::string msg =
+          "--domain=" + spec.domain + " needs --eps >= " + fmt(min_eps) +
+          " (vertex labels are integers; 1-agreement means adjacent vertices)";
+      usage(msg.c_str());
+    }
+  }
+
+  if (spec.protocol == Protocol::kHybrid) {
+    if (spec.domain == "euclid") {
+      if (!spec.params.feasible()) {
+        usage("params violate (D+1) ts + ta < n (or n <= 3 ts)");
+      }
+    } else if (!hydra::domain::find(spec.domain)
+                    ->feasible(spec.params.n, spec.params.ts, spec.params.ta,
+                               spec.params.dim)) {
+      const std::string msg = "--domain=" + spec.domain +
+                              " needs n > 3 ts and n > 2 ts + ta";
+      usage(msg.c_str());
+    }
   }
   if (spec.corruptions >= spec.params.n) usage("corrupt must be < n");
   return opts;
@@ -448,8 +524,9 @@ int cmd_run(const Options& opts) {
   table.row({"T estimates", fmt(result.min_estimate) + ".." + fmt(result.max_estimate)});
   table.row({"max msgs by one party", fmt(result.max_sent_by_party)});
   table.row({"safe-area fallbacks", fmt(result.safe_area_fallbacks)});
-  // Only non-default backends get extra rows: the default-sim table is part
-  // of the byte-identity contract for recorded runs.
+  // Only non-default backends/domains get extra rows: the default table is
+  // part of the byte-identity contract for recorded runs.
+  if (opts.spec.domain != "euclid") table.row({"domain", opts.spec.domain});
   if (opts.spec.backend != "sim") {
     table.row({"backend", opts.spec.backend});
     table.row({"wall clock (ms)", std::to_string(result.wall_ms)});
